@@ -1,0 +1,254 @@
+package prometheus
+
+import (
+	"testing"
+	"time"
+)
+
+func newRT(t *testing.T, opts ...Option) *Runtime {
+	t.Helper()
+	rt := Init(opts...)
+	t.Cleanup(rt.Terminate)
+	return rt
+}
+
+func TestLifecycle(t *testing.T) {
+	rt := Init(WithDelegates(2))
+	if rt.NumDelegates() != 2 || rt.NumContexts() != 3 {
+		t.Fatalf("contexts = %d/%d, want 2 delegates, 3 contexts", rt.NumDelegates(), rt.NumContexts())
+	}
+	rt.BeginIsolation()
+	if !rt.InIsolation() {
+		t.Fatal("InIsolation should be true")
+	}
+	rt.EndIsolation()
+	rt.Sleep()
+	rt.Terminate()
+	rt.Terminate() // idempotent
+}
+
+func TestWritableDelegateAndCall(t *testing.T) {
+	rt := newRT(t, WithDelegates(4))
+	type counter struct{ n int }
+	w := NewWritable(rt, counter{})
+
+	rt.BeginIsolation()
+	for i := 0; i < 1000; i++ {
+		w.Delegate(func(c *Ctx, obj *counter) { obj.n++ })
+	}
+	// Call reclaims ownership: all 1000 increments must be visible.
+	var got int
+	w.Call(func(obj *counter) { got = obj.n })
+	if got != 1000 {
+		t.Fatalf("after Call, n = %d, want 1000", got)
+	}
+	// Delegate again after reclaim (Figure 1, second epoch pattern).
+	w.Delegate(func(c *Ctx, obj *counter) { obj.n++ })
+	rt.EndIsolation()
+	if n := Call(w, func(obj *counter) int { return obj.n }); n != 1001 {
+		t.Fatalf("final n = %d, want 1001", n)
+	}
+}
+
+func TestCallGenericReturn(t *testing.T) {
+	rt := newRT(t, WithDelegates(1))
+	w := NewWritable(rt, 41)
+	got := Call(w, func(p *int) int { return *p + 1 })
+	if got != 42 {
+		t.Fatalf("Call = %d, want 42", got)
+	}
+}
+
+func TestPerObjectOrderingAcrossObjects(t *testing.T) {
+	rt := newRT(t, WithDelegates(4))
+	const objs = 32
+	const ops = 500
+	ws := make([]*Writable[[]int], objs)
+	for i := range ws {
+		ws[i] = NewWritable(rt, []int{})
+	}
+	rt.BeginIsolation()
+	for op := 0; op < ops; op++ {
+		for _, w := range ws {
+			op := op
+			w.Delegate(func(c *Ctx, s *[]int) { *s = append(*s, op) })
+		}
+	}
+	rt.EndIsolation()
+	for i, w := range ws {
+		w.Call(func(s *[]int) {
+			if len(*s) != ops {
+				t.Fatalf("obj %d: %d ops, want %d", i, len(*s), ops)
+			}
+			for j, v := range *s {
+				if v != j {
+					t.Fatalf("obj %d: op %d out of order: %d", i, j, v)
+				}
+			}
+		})
+	}
+}
+
+func TestDelegateOutsideIsolationPanics(t *testing.T) {
+	rt := newRT(t, WithDelegates(1))
+	w := NewWritable(rt, 0)
+	defer expectError(t, ErrAPIMisuse)
+	w.Delegate(func(c *Ctx, p *int) {})
+}
+
+func TestNullSerializerDelegatePanics(t *testing.T) {
+	rt := newRT(t, WithDelegates(1))
+	w := NewWritableSer(rt, 0, NullSerializer[int]())
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	defer expectError(t, ErrAPIMisuse)
+	w.Delegate(func(c *Ctx, p *int) {})
+}
+
+func TestDelegateToExternalSerializer(t *testing.T) {
+	rt := newRT(t, WithDelegates(2))
+	w := NewWritableSer(rt, map[int]int{}, NullSerializer[map[int]int]())
+	rt.BeginIsolation()
+	for i := 0; i < 100; i++ {
+		i := i
+		w.DelegateTo(7, func(c *Ctx, m *map[int]int) { (*m)[i] = i * i })
+	}
+	rt.EndIsolation()
+	w.Call(func(m *map[int]int) {
+		if len(*m) != 100 || (*m)[9] != 81 {
+			t.Fatalf("map = %d entries, want 100", len(*m))
+		}
+	})
+}
+
+func TestSerializers(t *testing.T) {
+	seq := SequenceSerializer[int]()
+	if seq(5, nil) != 5 {
+		t.Error("sequence serializer should return the instance number")
+	}
+	obj := ObjectSerializer[int]()
+	if obj(5, nil) == 5 || obj(5, nil) != obj(5, nil) {
+		t.Error("object serializer should be a stable scramble")
+	}
+	type keyed struct{ k uint64 }
+	if Mix64(1) == Mix64(2) {
+		t.Error("Mix64 collision on small inputs")
+	}
+	if StringSet("alpha") == StringSet("beta") {
+		t.Error("StringSet collision")
+	}
+	_ = keyed{}
+}
+
+type selfID struct{ id uint64 }
+
+func (s selfID) SerialID() uint64 { return s.id }
+
+func TestInternalSerializer(t *testing.T) {
+	rt := newRT(t, WithDelegates(2))
+	ser := InternalSerializer[selfID]()
+	w := NewWritableSer(rt, selfID{id: 99}, ser)
+	if got := ser(0, &w.obj); got != 99 {
+		t.Fatalf("internal serializer = %d, want 99", got)
+	}
+}
+
+func TestReadOnlyGetAndMut(t *testing.T) {
+	rt := newRT(t, WithDelegates(1))
+	r := NewReadOnly(rt, []int{1, 2, 3})
+	if got := CallR(r, func(s *[]int) int { return (*s)[1] }); got != 2 {
+		t.Fatalf("CallR = %d, want 2", got)
+	}
+	(*r.Mut())[1] = 20 // aggregation epoch: mutation allowed
+	rt.BeginIsolation()
+	func() {
+		defer expectError(t, ErrPartitionViolation)
+		r.Mut()
+	}()
+	rt.EndIsolation()
+	if (*r.Get())[1] != 20 {
+		t.Fatal("mutation lost")
+	}
+}
+
+type hashable struct{ v uint64 }
+
+func (h *hashable) Hash() uint64 { return Mix64(h.v) }
+
+func TestReadOnlyCheckedDetectsWrite(t *testing.T) {
+	rt := newRT(t, WithDelegates(1), Checked())
+	r := NewReadOnly(rt, hashable{v: 1})
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	defer expectError(t, ErrPartitionViolation)
+	r.Call(func(h *hashable) { h.v = 2 }) // illegal write through read-only
+}
+
+func TestReadOnlyCheckedAllowsReads(t *testing.T) {
+	rt := newRT(t, WithDelegates(1), Checked())
+	r := NewReadOnly(rt, hashable{v: 1})
+	rt.BeginIsolation()
+	var got uint64
+	r.Call(func(h *hashable) { got = h.v })
+	rt.EndIsolation()
+	if got != 1 {
+		t.Fatalf("read = %d, want 1", got)
+	}
+}
+
+func TestSequentialModeSameAnswers(t *testing.T) {
+	run := func(opts ...Option) int {
+		rt := Init(opts...)
+		defer rt.Terminate()
+		w := NewWritable(rt, 0)
+		rt.BeginIsolation()
+		for i := 0; i < 100; i++ {
+			w.Delegate(func(c *Ctx, p *int) { *p += 3 })
+		}
+		rt.EndIsolation()
+		return Call(w, func(p *int) int { return *p })
+	}
+	if par, seq := run(WithDelegates(4)), run(Sequential()); par != seq {
+		t.Fatalf("parallel = %d, sequential = %d", par, seq)
+	}
+}
+
+func TestProgramCtxView(t *testing.T) {
+	rt := newRT(t, WithDelegates(2))
+	c := rt.ProgramCtx()
+	if c.ID() != 0 || c.Runtime() != rt {
+		t.Fatal("ProgramCtx should be context 0 of this runtime")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	rt := newRT(t, WithDelegates(2))
+	rt.BeginIsolation()
+	w := NewWritable(rt, 0)
+	w.Delegate(func(c *Ctx, p *int) { time.Sleep(time.Millisecond) })
+	rt.EndIsolation()
+	st := rt.Stats()
+	if st.Delegations != 1 || st.Epochs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Isolation <= 0 {
+		t.Fatal("isolation time not recorded")
+	}
+}
+
+// expectError asserts that the surrounding function panics with *Error of
+// the given kind.
+func expectError(t *testing.T, kind ErrorKind) {
+	t.Helper()
+	r := recover()
+	if r == nil {
+		t.Fatalf("expected %v panic, got none", kind)
+	}
+	e, ok := r.(*Error)
+	if !ok {
+		t.Fatalf("panic value %v is not *Error", r)
+	}
+	if e.Kind != kind {
+		t.Fatalf("panic kind = %v, want %v (%s)", e.Kind, kind, e.Msg)
+	}
+}

@@ -1,0 +1,247 @@
+package prometheus_test
+
+// Benchmarks regenerating the paper's evaluation, one family per table or
+// figure. Each sub-benchmark reports ns/op for one full run of a benchmark
+// implementation, so paper-style speedups fall out as ratios of Seq to
+// CP/SS times:
+//
+//	BenchmarkFig4/<app>/{Seq,CP16,SS15}    - Figure 4 (16-context config)
+//	BenchmarkFig5a/<app>                   - Figure 5a instrumented SS runs
+//	BenchmarkFig5b/<app>/{S,M}             - Figure 5b input scaling
+//	BenchmarkFig6/<app>/d<N>               - Figure 6 delegate-count sweep
+//	BenchmarkAblation/*                    - design-choice studies
+//
+// The ssbench command prints the same data as formatted tables; these
+// benches integrate with standard Go tooling (-bench, -benchmem,
+// benchstat). Inputs are the Small class so `go test -bench=.` stays
+// minutes-scale; ssbench defaults to Medium.
+
+import (
+	"sync"
+	"testing"
+
+	prometheus "repro"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// instCache loads each benchmark input once per (app, size).
+var (
+	instMu    sync.Mutex
+	instCache = map[string]*harness.Instance{}
+)
+
+func load(b *testing.B, app harness.App, size workload.SizeClass) *harness.Instance {
+	b.Helper()
+	instMu.Lock()
+	defer instMu.Unlock()
+	key := app.Name + "/" + size.String()
+	inst, ok := instCache[key]
+	if !ok {
+		inst = app.Load(size)
+		instCache[key] = inst
+	}
+	return inst
+}
+
+// BenchmarkFig4 measures the three implementations of every benchmark at
+// the paper's 16-context configuration (barcelona-16): CP with 16 workers,
+// SS with 15 delegates + the program context.
+func BenchmarkFig4(b *testing.B) {
+	for _, app := range harness.Apps {
+		app := app
+		b.Run(app.Name+"/Seq", func(b *testing.B) {
+			inst := load(b, app, workload.Small)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.Seq()
+			}
+		})
+		b.Run(app.Name+"/CP16", func(b *testing.B) {
+			inst := load(b, app, workload.Small)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.CP(16)
+			}
+		})
+		b.Run(app.Name+"/SS15", func(b *testing.B) {
+			inst := load(b, app, workload.Small)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.SS(15)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5a runs the instrumented SS implementations and reports the
+// epoch-time breakdown as custom metrics (fractions of total time), the
+// data behind Figure 5a.
+func BenchmarkFig5a(b *testing.B) {
+	for _, app := range harness.Apps {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			inst := load(b, app, workload.Small)
+			b.ResetTimer()
+			var agg, iso, red, tot float64
+			for i := 0; i < b.N; i++ {
+				st := inst.SS(15)
+				agg += float64(st.Aggregation)
+				iso += float64(st.Isolation)
+				red += float64(st.Reduction)
+				tot += float64(st.Total())
+			}
+			if tot > 0 {
+				b.ReportMetric(100*agg/tot, "%aggregation")
+				b.ReportMetric(100*iso/tot, "%isolation")
+				b.ReportMetric(100*red/tot, "%reduction")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5b measures SS at 15 delegates across input size classes
+// (S and M here; ssbench -experiment fig5b adds L).
+func BenchmarkFig5b(b *testing.B) {
+	for _, app := range harness.Apps {
+		app := app
+		for _, size := range []workload.SizeClass{workload.Small, workload.Medium} {
+			size := size
+			b.Run(app.Name+"/"+size.String(), func(b *testing.B) {
+				inst := load(b, app, size)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inst.SS(15)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 sweeps the delegate count, the data behind Figure 6's
+// scaling curves.
+func BenchmarkFig6(b *testing.B) {
+	for _, app := range harness.Apps {
+		app := app
+		for _, d := range []int{1, 2, 4, 8, 15} {
+			d := d
+			b.Run(app.Name+"/d"+itoa(d), func(b *testing.B) {
+				inst := load(b, app, workload.Small)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inst.SS(d)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblation covers the design-choice studies: scheduling policy,
+// program share, queue capacity (on freqmine, the most skew-prone
+// benchmark) and the kmeans formulation comparison.
+func BenchmarkAblation(b *testing.B) {
+	fm, _ := harness.AppByName("freqmine")
+	b.Run("policy/static-mod", func(b *testing.B) {
+		inst := load(b, fm, workload.Small)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst.SSOpt(15, prometheus.WithPolicy(prometheus.StaticMod))
+		}
+	})
+	b.Run("policy/least-loaded", func(b *testing.B) {
+		inst := load(b, fm, workload.Small)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst.SSOpt(15, prometheus.WithPolicy(prometheus.LeastLoaded))
+		}
+	})
+	for _, share := range []int{0, 1, 2} {
+		share := share
+		b.Run("program-share/"+itoa(share), func(b *testing.B) {
+			inst := load(b, fm, workload.Small)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.SSOpt(15, prometheus.WithProgramShare(share))
+			}
+		})
+	}
+	for _, cap := range []int{8, 1024, 16384} {
+		cap := cap
+		b.Run("queue-capacity/"+itoa(cap), func(b *testing.B) {
+			inst := load(b, fm, workload.Small)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.SSOpt(15, prometheus.WithQueueCapacity(cap))
+			}
+		})
+	}
+	km, _ := harness.AppByName("kmeans")
+	b.Run("kmeans/reduction", func(b *testing.B) {
+		inst := load(b, km, workload.Small)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst.SS(15)
+		}
+	})
+	b.Run("kmeans/naive", func(b *testing.B) {
+		inst := load(b, km, workload.Small)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst.Variants["naive"](15)
+		}
+	})
+}
+
+// BenchmarkRuntime measures the core runtime primitives in isolation:
+// delegation throughput (the paper's overhead discussion, §5) and epoch
+// transition cost.
+func BenchmarkRuntime(b *testing.B) {
+	b.Run("delegate-throughput", func(b *testing.B) {
+		rt := prometheus.Init(prometheus.WithDelegates(4))
+		defer rt.Terminate()
+		w := prometheus.NewWritable(rt, 0)
+		rt.BeginIsolation()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+		}
+		b.StopTimer()
+		rt.EndIsolation()
+	})
+	b.Run("epoch-transition", func(b *testing.B) {
+		rt := prometheus.Init(prometheus.WithDelegates(4))
+		defer rt.Terminate()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.BeginIsolation()
+			rt.EndIsolation()
+		}
+	})
+	b.Run("sync-roundtrip", func(b *testing.B) {
+		rt := prometheus.Init(prometheus.WithDelegates(4))
+		defer rt.Terminate()
+		w := prometheus.NewWritable(rt, 0)
+		rt.BeginIsolation()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+			w.Call(func(p *int) {})
+		}
+		b.StopTimer()
+		rt.EndIsolation()
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

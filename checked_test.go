@@ -1,0 +1,122 @@
+package prometheus
+
+import "testing"
+
+// Tests for the dynamic error detection of paper §3.3 (failure injection).
+
+func TestCheckedSerializerViolation(t *testing.T) {
+	// An "improper serializer" maps the same object to different sets in
+	// one isolation epoch; checked mode must detect the discrepancy.
+	rt := newRT(t, WithDelegates(2), Checked())
+	w := NewWritableSer(rt, 0, NullSerializer[int]())
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	w.DelegateTo(1, func(c *Ctx, p *int) {})
+	defer expectError(t, ErrSerializerViolation)
+	w.DelegateTo(2, func(c *Ctx, p *int) {})
+}
+
+func TestCheckedSerializerConsistentAcrossEpochs(t *testing.T) {
+	// Different sets in *different* epochs are legal (the partition may
+	// change between isolation epochs, Figure 1).
+	rt := newRT(t, WithDelegates(2), Checked())
+	w := NewWritableSer(rt, 0, NullSerializer[int]())
+	rt.BeginIsolation()
+	w.DelegateTo(1, func(c *Ctx, p *int) {})
+	rt.EndIsolation()
+	rt.BeginIsolation()
+	w.DelegateTo(2, func(c *Ctx, p *int) {}) // must not panic
+	rt.EndIsolation()
+}
+
+func TestCheckedReadOnlyThenDelegatePanics(t *testing.T) {
+	rt := newRT(t, WithDelegates(2), Checked())
+	w := NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	w.CallRO(func(p *int) {})
+	defer expectError(t, ErrPartitionViolation)
+	w.Delegate(func(c *Ctx, p *int) {})
+}
+
+func TestCheckedDelegateThenCallROPanics(t *testing.T) {
+	rt := newRT(t, WithDelegates(2), Checked())
+	w := NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	w.Delegate(func(c *Ctx, p *int) {})
+	defer expectError(t, ErrPartitionViolation)
+	w.CallRO(func(p *int) {})
+}
+
+func TestCheckedReadOnlyThenCallPanics(t *testing.T) {
+	rt := newRT(t, WithDelegates(2), Checked())
+	w := NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	w.CallRO(func(p *int) {})
+	defer expectError(t, ErrPartitionViolation)
+	w.Call(func(p *int) {})
+}
+
+func TestCheckedROThenPrivateNextEpochOK(t *testing.T) {
+	// The state machine resets at epoch boundaries: read-only in epoch 1,
+	// privately-writable in epoch 2 is the alternating-partition idiom.
+	rt := newRT(t, WithDelegates(2), Checked())
+	w := NewWritable(rt, 0)
+	rt.BeginIsolation()
+	w.CallRO(func(p *int) {})
+	rt.EndIsolation()
+	rt.BeginIsolation()
+	w.Delegate(func(c *Ctx, p *int) { *p = 1 }) // must not panic
+	rt.EndIsolation()
+	if got := Call(w, func(p *int) int { return *p }); got != 1 {
+		t.Fatalf("value = %d, want 1", got)
+	}
+}
+
+func TestCheckedROViewForDelegatedReads(t *testing.T) {
+	// RO() marks the wrapper read-only; a delegated read of another
+	// writable may then capture the view safely.
+	rt := newRT(t, WithDelegates(2), Checked())
+	src := NewWritable(rt, 7)
+	dst := NewWritable(rt, 0)
+	rt.BeginIsolation()
+	view := src.RO()
+	dst.Delegate(func(c *Ctx, p *int) { *p = *view * 2 })
+	rt.EndIsolation()
+	if got := Call(dst, func(p *int) int { return *p }); got != 14 {
+		t.Fatalf("dst = %d, want 14", got)
+	}
+	// And delegating on src in the same epoch would have been an error:
+	rt.BeginIsolation()
+	_ = src.RO()
+	func() {
+		defer expectError(t, ErrPartitionViolation)
+		src.Delegate(func(c *Ctx, p *int) {})
+	}()
+	rt.EndIsolation()
+}
+
+func TestUncheckedSkipsDetection(t *testing.T) {
+	// With checks disabled (as in the paper's performance runs), the same
+	// misuse is not detected; this documents the contract.
+	rt := newRT(t, WithDelegates(2))
+	w := NewWritableSer(rt, 0, NullSerializer[int]())
+	rt.BeginIsolation()
+	w.DelegateTo(1, func(c *Ctx, p *int) {})
+	w.DelegateTo(2, func(c *Ctx, p *int) {}) // no panic
+	rt.EndIsolation()
+}
+
+func TestSequentialModeStillChecks(t *testing.T) {
+	// Debug mode (§3.3): sequential execution with checks active detects
+	// the same serializer errors the parallel version would.
+	rt := newRT(t, Sequential(), Checked())
+	w := NewWritableSer(rt, 0, NullSerializer[int]())
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	w.DelegateTo(1, func(c *Ctx, p *int) {})
+	defer expectError(t, ErrSerializerViolation)
+	w.DelegateTo(2, func(c *Ctx, p *int) {})
+}

@@ -1,0 +1,79 @@
+// Command ssbench regenerates every table and figure of the paper's
+// evaluation (Table 2/3, Figures 4, 5a, 5b, 6) plus the ablation suite.
+//
+// Usage:
+//
+//	ssbench -experiment fig4 [-size M] [-reps 3] [-apps word_count,dedup]
+//	ssbench -experiment all -size S     # quick smoke of every experiment
+//	ssbench -experiment fig6 -max-delegates 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		experiment   = flag.String("experiment", "fig4", "one of: table2, table3, fig4, fig5a, fig5b, fig6, ablation, all")
+		sizeFlag     = flag.String("size", "M", "input size class: S, M, or L")
+		reps         = flag.Int("reps", 1, "timing repetitions (best-of)")
+		appsFlag     = flag.String("apps", "", "comma-separated benchmark filter (default: all)")
+		maxDelegates = flag.Int("max-delegates", 15, "fig6: largest delegate count")
+	)
+	flag.Parse()
+
+	size, ok := workload.ParseSize(*sizeFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ssbench: bad -size %q (want S, M, or L)\n", *sizeFlag)
+		os.Exit(2)
+	}
+	var apps []string
+	if *appsFlag != "" {
+		apps = strings.Split(*appsFlag, ",")
+	}
+	opts := harness.Options{Size: size, Reps: *reps, Apps: apps}
+
+	run := func(name string) error {
+		switch name {
+		case "table2":
+			return harness.Table2(os.Stdout, opts)
+		case "table3":
+			harness.Table3(os.Stdout)
+			return nil
+		case "fig4":
+			return harness.Fig4(os.Stdout, opts)
+		case "fig5a":
+			return harness.Fig5a(os.Stdout, opts)
+		case "fig5b":
+			return harness.Fig5b(os.Stdout, opts)
+		case "fig6":
+			return harness.Fig6(os.Stdout, opts, *maxDelegates)
+		case "ablation":
+			return harness.Ablation(os.Stdout, opts)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	var names []string
+	if *experiment == "all" {
+		names = []string{"table2", "table3", "fig4", "fig5a", "fig5b", "fig6", "ablation"}
+	} else {
+		names = []string{*experiment}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "ssbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

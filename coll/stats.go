@@ -1,0 +1,200 @@
+package coll
+
+// Statistical reducibles — part of the "richer set of shared data
+// structures" the paper names as future work (§7). All follow the standard
+// discipline: per-context views during isolation, deterministic fold on
+// first aggregation-epoch access.
+
+import (
+	"sort"
+
+	prometheus "repro"
+)
+
+// MinMax tracks the minimum and maximum of a stream of values.
+type MinMax[N int64 | float64 | int | uint64] struct {
+	r *prometheus.Reducible[minmaxView[N]]
+}
+
+type minmaxView[N int64 | float64 | int | uint64] struct {
+	min, max N
+	seen     bool
+}
+
+// NewMinMax creates a reducible min/max tracker.
+func NewMinMax[N int64 | float64 | int | uint64](rt *prometheus.Runtime) *MinMax[N] {
+	return &MinMax[N]{
+		r: prometheus.NewReducible(rt,
+			func() minmaxView[N] { return minmaxView[N]{} },
+			func(dst, src *minmaxView[N]) {
+				if !src.seen {
+					return
+				}
+				if !dst.seen {
+					*dst = *src
+					return
+				}
+				if src.min < dst.min {
+					dst.min = src.min
+				}
+				if src.max > dst.max {
+					dst.max = src.max
+				}
+			}),
+	}
+}
+
+// Observe folds v into the executing context's view.
+func (m *MinMax[N]) Observe(c *prometheus.Ctx, v N) {
+	view := m.r.View(c)
+	if !view.seen {
+		view.min, view.max, view.seen = v, v, true
+		return
+	}
+	if v < view.min {
+		view.min = v
+	}
+	if v > view.max {
+		view.max = v
+	}
+}
+
+// Result returns (min, max, ok); ok is false if nothing was observed.
+func (m *MinMax[N]) Result() (N, N, bool) {
+	v := m.r.Result()
+	return v.min, v.max, v.seen
+}
+
+// TopK keeps the k largest-scored items. Per-context views hold at most k
+// candidates, so memory stays bounded during isolation; the reduction
+// re-selects the global top k deterministically (score descending, then
+// key ascending).
+type TopK[K comparable] struct {
+	k int
+	r *prometheus.Reducible[map[K]int64]
+}
+
+// NewTopK creates a reducible top-k selector.
+func NewTopK[K comparable](rt *prometheus.Runtime, k int) *TopK[K] {
+	if k < 1 {
+		k = 1
+	}
+	t := &TopK[K]{k: k}
+	t.r = prometheus.NewReducible(rt,
+		func() map[K]int64 { return make(map[K]int64, k+1) },
+		func(dst, src *map[K]int64) {
+			for key, score := range *src {
+				if old, ok := (*dst)[key]; !ok || score > old {
+					(*dst)[key] = score
+				}
+			}
+			trimTopK(*dst, t.k)
+		})
+	return t
+}
+
+// Offer proposes an item with a score; higher scores win. Re-offering a
+// key keeps its best score.
+func (t *TopK[K]) Offer(c *prometheus.Ctx, key K, score int64) {
+	view := t.r.View(c)
+	if old, ok := (*view)[key]; !ok || score > old {
+		(*view)[key] = score
+	}
+	if len(*view) > 4*t.k {
+		trimTopK(*view, t.k)
+	}
+}
+
+// trimTopK drops every entry scoring strictly below the k-th best score.
+// Ties at the boundary are kept — a view may briefly hold more than k
+// entries — and Result performs the exact deterministic selection.
+func trimTopK[K comparable](m map[K]int64, k int) {
+	if len(m) <= k {
+		return
+	}
+	scores := make([]int64, 0, len(m))
+	for _, s := range m {
+		scores = append(scores, s)
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i] > scores[j] })
+	cut := scores[k-1]
+	for key, s := range m {
+		if s < cut {
+			delete(m, key)
+		}
+	}
+}
+
+// Item is one TopK result entry.
+type Item[K comparable] struct {
+	Key   K
+	Score int64
+}
+
+// Result returns the global top k, score descending. Ties are broken by
+// the order function, which must be a total order on keys.
+func (t *TopK[K]) Result(less func(a, b K) bool) []Item[K] {
+	m := *t.r.Result()
+	items := make([]Item[K], 0, len(m))
+	for k, s := range m {
+		items = append(items, Item[K]{k, s})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Score != items[j].Score {
+			return items[i].Score > items[j].Score
+		}
+		return less(items[i].Key, items[j].Key)
+	})
+	if len(items) > t.k {
+		items = items[:t.k]
+	}
+	return items
+}
+
+// Histogram is a reducible fixed-bin histogram over [lo, hi).
+type Histogram struct {
+	lo, hi float64
+	bins   int
+	r      *prometheus.Reducible[[]int64]
+}
+
+// NewHistogram creates a reducible histogram with the given bin count.
+func NewHistogram(rt *prometheus.Runtime, lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	return &Histogram{
+		lo: lo, hi: hi, bins: bins,
+		r: prometheus.NewReducible(rt,
+			func() []int64 { return make([]int64, bins+2) }, // +under/overflow
+			func(dst, src *[]int64) {
+				for i, v := range *src {
+					(*dst)[i] += v
+				}
+			}),
+	}
+}
+
+// Observe adds v to the executing context's view. Out-of-range values land
+// in the underflow/overflow buckets.
+func (h *Histogram) Observe(c *prometheus.Ctx, v float64) {
+	view := h.r.View(c)
+	switch {
+	case v < h.lo:
+		(*view)[h.bins]++
+	case v >= h.hi:
+		(*view)[h.bins+1]++
+	default:
+		idx := int(float64(h.bins) * (v - h.lo) / (h.hi - h.lo))
+		if idx >= h.bins {
+			idx = h.bins - 1
+		}
+		(*view)[idx]++
+	}
+}
+
+// Result returns (bins, underflow, overflow).
+func (h *Histogram) Result() ([]int64, int64, int64) {
+	v := *h.r.Result()
+	return v[:h.bins], v[h.bins], v[h.bins+1]
+}

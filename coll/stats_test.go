@@ -1,0 +1,131 @@
+package coll
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	prometheus "repro"
+)
+
+func TestMinMax(t *testing.T) {
+	rt := newRT(t)
+	mm := NewMinMax[int64](rt)
+	vals := make([]int, 500)
+	for i := range vals {
+		vals[i] = (i*37)%997 - 300
+	}
+	scatter(rt, vals, func(c *prometheus.Ctx, v int) { mm.Observe(c, int64(v)) })
+	min, max, ok := mm.Result()
+	if !ok {
+		t.Fatal("nothing observed")
+	}
+	wantMin, wantMax := int64(1<<62), int64(-1<<62)
+	for _, v := range vals {
+		if int64(v) < wantMin {
+			wantMin = int64(v)
+		}
+		if int64(v) > wantMax {
+			wantMax = int64(v)
+		}
+	}
+	if min != wantMin || max != wantMax {
+		t.Fatalf("minmax = %d/%d, want %d/%d", min, max, wantMin, wantMax)
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	rt := newRT(t)
+	mm := NewMinMax[float64](rt)
+	if _, _, ok := mm.Result(); ok {
+		t.Fatal("empty minmax should report !ok")
+	}
+}
+
+func TestTopKExactSelection(t *testing.T) {
+	rt := newRT(t)
+	const k = 5
+	tk := NewTopK[int](rt, k)
+	r := rand.New(rand.NewSource(3))
+	n := 2000
+	scores := make(map[int]int64, n)
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = i
+		scores[i] = int64(r.Intn(100000))
+	}
+	scatter(rt, keys, func(c *prometheus.Ctx, key int) { tk.Offer(c, key, scores[key]) })
+	got := tk.Result(func(a, b int) bool { return a < b })
+	if len(got) != k {
+		t.Fatalf("got %d items, want %d", len(got), k)
+	}
+	// Oracle: sort all scores.
+	type pair struct {
+		key   int
+		score int64
+	}
+	all := make([]pair, 0, n)
+	for key, s := range scores {
+		all = append(all, pair{key, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].key < all[j].key
+	})
+	for i := 0; i < k; i++ {
+		if got[i].Key != all[i].key || got[i].Score != all[i].score {
+			t.Fatalf("rank %d = %+v, want %+v", i, got[i], all[i])
+		}
+	}
+}
+
+func TestTopKRepeatedOffersKeepBest(t *testing.T) {
+	rt := newRT(t)
+	tk := NewTopK[string](rt, 2)
+	c := rt.ProgramCtx()
+	tk.Offer(c, "a", 5)
+	tk.Offer(c, "a", 3) // worse: ignored
+	tk.Offer(c, "b", 4)
+	tk.Offer(c, "c", 1)
+	got := tk.Result(func(a, b string) bool { return a < b })
+	if len(got) != 2 || got[0].Key != "a" || got[0].Score != 5 || got[1].Key != "b" {
+		t.Fatalf("top2 = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	rt := newRT(t)
+	h := NewHistogram(rt, 0, 10, 10)
+	vals := []float64{-1, 0, 0.5, 1.5, 9.99, 10, 42}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	scatter(rt, idx, func(c *prometheus.Ctx, i int) { h.Observe(c, vals[i]) })
+	bins, under, over := h.Result()
+	if under != 1 || over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", under, over)
+	}
+	if bins[0] != 2 || bins[1] != 1 || bins[9] != 1 {
+		t.Fatalf("bins = %v", bins)
+	}
+	var total int64
+	for _, b := range bins {
+		total += b
+	}
+	if total+under+over != int64(len(vals)) {
+		t.Fatal("histogram lost observations")
+	}
+}
+
+func TestHistogramDegenerateBins(t *testing.T) {
+	rt := newRT(t)
+	h := NewHistogram(rt, 0, 1, 0) // bins clamped to 1
+	h.Observe(rt.ProgramCtx(), 0.5)
+	bins, _, _ := h.Result()
+	if len(bins) != 1 || bins[0] != 1 {
+		t.Fatalf("bins = %v", bins)
+	}
+}

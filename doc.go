@@ -1,0 +1,60 @@
+// Package prometheus implements the serialization-sets parallel execution
+// model of Allen, Sridharan & Sohi, "Serialization Sets: A Dynamic
+// Dependence-Based Parallel Execution Model" (PPoPP 2009), as a Go library.
+//
+// # Model
+//
+// A program using serialization sets is written as an ordinary sequential
+// program. Execution is divided into aggregation epochs (plain sequential
+// execution, the default) and isolation epochs (opened with
+// Runtime.BeginIsolation, closed with Runtime.EndIsolation). During an
+// isolation epoch the program partitions its data into disjoint domains:
+//
+//   - read-only data (ReadOnly[T]) may be read by any operation;
+//   - privately-writable data (Writable[T]) may be read and written only by
+//     its current owner;
+//   - reducible data (Reducible[T]) accumulates into per-context views that
+//     are folded together on first use in the following aggregation epoch.
+//
+// Potentially independent operations on writable data are delegated
+// (Writable.Delegate). A serializer — a small piece of code run at the
+// delegation point — maps each operation to a serialization set.
+// Operations in the same set execute in program order on a single delegate
+// context; operations in different sets may execute concurrently. Because
+// every operation has a place in a single logical order, parallel execution
+// is deterministic: there are no data races, and deadlock, livelock and
+// priority inversion cannot occur.
+//
+// # Correspondence with the paper's C++ API (Table 1)
+//
+//	initialize()                 -> Init(opts...)
+//	terminate()                  -> Runtime.Terminate()
+//	sleep()                      -> Runtime.Sleep()
+//	begin_isolation()            -> Runtime.BeginIsolation()
+//	end_isolation()              -> Runtime.EndIsolation()
+//	read_only<T>::call           -> ReadOnly[T].Call / Get
+//	reducible<T>::call           -> Reducible[T].Update / View / Result
+//	writable<T,S>::call          -> Writable[T].Call (private) / CallRO (read-only)
+//	writable<T,S>::delegate      -> Writable[T].Delegate (serializer S)
+//	writable<T,S>::delegate(ss)  -> Writable[T].DelegateTo(set, ...) (external serializer)
+//	writable<T,S>::doall         -> DoAll(rt, objs, fn)
+//
+// The paper's predefined serializers map to Sequence (instance number),
+// Object (address-like scrambled identity) and Null (external serializer
+// supplied at the delegation site); internal serializers are arbitrary
+// functions of the wrapped object (UseSerializer / NewWritableSer).
+//
+// Delegated methods must not return values (restructure to store results in
+// the object and read them after synchronization), mirroring the paper's
+// void-return restriction. In Go the delegated operation is a closure
+// receiving (*Ctx, *T); the Ctx identifies the executing context and is how
+// reducible views are addressed.
+//
+// # Debugging
+//
+// Sequential() builds a runtime in the paper's debug mode: every delegation
+// runs inline in the program goroutine, in program order, while serializers
+// and all dynamic checks still execute. Checked() enables the dynamic error
+// detection of §3.3: serializer-consistency tagging and the
+// read-only/private state machine, which panic with *Error on violation.
+package prometheus

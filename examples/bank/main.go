@@ -1,0 +1,80 @@
+// Task parallelism over per-entity serialization sets: a bank processes a
+// transaction log. All operations on one account map to that account's
+// serialization set, so per-account balances evolve in program order with
+// no locks, while different accounts settle concurrently. A transfer
+// touches two accounts, so the program context reclaims ownership of both
+// (the dependent-operation case of paper §2, Figure 1's q operation).
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	prometheus "repro"
+)
+
+type account struct {
+	id      int
+	balance int64
+	history int
+}
+
+func main() {
+	rt := prometheus.Init()
+	defer rt.Terminate()
+
+	const nAccounts = 32
+	accounts := make([]*prometheus.Writable[account], nAccounts)
+	for i := range accounts {
+		accounts[i] = prometheus.NewWritable(rt, account{id: i, balance: 1000})
+	}
+
+	r := rand.New(rand.NewSource(7)) // deterministic log
+	var transfers, deposits int
+
+	rt.BeginIsolation()
+	for op := 0; op < 20000; op++ {
+		if r.Intn(10) == 0 {
+			// Transfer: a dependent operation across two domains. Calls
+			// reclaim ownership of both accounts (waiting for their
+			// outstanding delegated deposits), then move the money in the
+			// program context.
+			from, to := r.Intn(nAccounts), r.Intn(nAccounts)
+			if from == to {
+				continue
+			}
+			amount := int64(r.Intn(50))
+			ok := prometheus.Call(accounts[from], func(a *account) bool {
+				if a.balance < amount {
+					return false
+				}
+				a.balance -= amount
+				return true
+			})
+			if ok {
+				accounts[to].Call(func(a *account) { a.balance += amount })
+			}
+			transfers++
+			continue
+		}
+		// Deposit: independent per-account work, delegated.
+		amount := int64(r.Intn(100))
+		deposits++
+		accounts[r.Intn(nAccounts)].Delegate(func(c *prometheus.Ctx, a *account) {
+			a.balance += amount
+			a.history++
+		})
+	}
+	rt.EndIsolation()
+
+	var total int64
+	for _, w := range accounts {
+		total += prometheus.Call(w, func(a *account) int64 { return a.balance })
+	}
+	fmt.Printf("%d deposits, %d transfers across %d accounts\n", deposits, transfers, nAccounts)
+	fmt.Printf("total balance: %d\n", total)
+	st := rt.Stats()
+	fmt.Printf("runtime: %d delegations, %d ownership reclaims\n", st.Delegations, st.Syncs)
+}

@@ -1,0 +1,86 @@
+// Recursive delegation (the paper's §4/§7 future-work extension,
+// implemented here): a parallel quicksort where each delegated partition
+// step delegates its two halves from inside the delegate context via
+// Ctx.Delegate — no fork/join scaffolding in user code, and EndIsolation's
+// quiescence barrier waits for the whole recursion tree.
+//
+//	go run ./examples/quicksort
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	prometheus "repro"
+)
+
+const (
+	n      = 1 << 20
+	cutoff = 1 << 12 // below this, sort sequentially
+)
+
+var nextSet atomic.Uint64
+
+// qsort partitions data and recursively delegates the halves. Each
+// recursive call gets a fresh serialization set, so sibling halves sort
+// concurrently; disjoint slices mean disjoint writable domains.
+func qsort(c *prometheus.Ctx, data []int32) {
+	if len(data) < cutoff {
+		sort.Slice(data, func(i, j int) bool { return data[i] < data[j] })
+		return
+	}
+	pivot := median3(data)
+	lo, hi := 0, len(data)-1
+	for lo <= hi {
+		for data[lo] < pivot {
+			lo++
+		}
+		for data[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			data[lo], data[hi] = data[hi], data[lo]
+			lo++
+			hi--
+		}
+	}
+	left, right := data[:hi+1], data[lo:]
+	c.Delegate(nextSet.Add(1), func(c2 *prometheus.Ctx) { qsort(c2, left) })
+	c.Delegate(nextSet.Add(1), func(c2 *prometheus.Ctx) { qsort(c2, right) })
+}
+
+func median3(d []int32) int32 {
+	a, b, c := d[0], d[len(d)/2], d[len(d)-1]
+	switch {
+	case (a <= b && b <= c) || (c <= b && b <= a):
+		return b
+	case (b <= a && a <= c) || (c <= a && a <= b):
+		return a
+	default:
+		return c
+	}
+}
+
+func main() {
+	rt := prometheus.Init(prometheus.Recursive())
+	defer rt.Terminate()
+
+	r := rand.New(rand.NewSource(42))
+	data := make([]int32, n)
+	for i := range data {
+		data[i] = r.Int31()
+	}
+
+	rt.BeginIsolation()
+	root := prometheus.NewWritable(rt, data)
+	root.Delegate(func(c *prometheus.Ctx, d *[]int32) { qsort(c, *d) })
+	rt.EndIsolation() // quiescence barrier: waits for the full recursion
+
+	sorted := sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] })
+	fmt.Printf("sorted %d elements with recursive delegation: %v\n", n, sorted)
+	st := rt.Stats()
+	fmt.Printf("program-context delegations: %d (recursive delegations happen inside delegates)\n",
+		st.Delegations)
+}

@@ -1,0 +1,65 @@
+// Package barneshut reproduces the Lonestar barnes-hut benchmark
+// (Table 2): an N-body simulation where each time step builds an octree
+// and computes approximate forces against it. Per step, the tree build is
+// sequential and the force/integrate phase is data parallel over the
+// bodies with the tree read-only — the structure all three implementations
+// share, so their outputs are bit-identical (per-body force accumulation
+// order is the deterministic tree traversal order).
+package barneshut
+
+import (
+	"repro/internal/nbody"
+	"repro/internal/workload"
+)
+
+// Input is the initial body set plus the step count.
+type Input struct {
+	Bodies []nbody.Body
+	Steps  int
+}
+
+// Output is the final body states.
+type Output struct {
+	Bodies []nbody.Body
+}
+
+// Load generates the input for a size class.
+func Load(size workload.SizeClass) *Input {
+	cfg := workload.NBodySize(size)
+	gen := workload.GenerateBodies(cfg)
+	bodies := make([]nbody.Body, len(gen))
+	for i, g := range gen {
+		bodies[i] = nbody.Body{
+			Pos:  nbody.Vec3{X: g.PX, Y: g.PY, Z: g.PZ},
+			Vel:  nbody.Vec3{X: g.VX, Y: g.VY, Z: g.VZ},
+			Mass: g.Mass,
+		}
+	}
+	return &Input{Bodies: bodies, Steps: cfg.Steps}
+}
+
+// clone copies the input bodies so repeated runs are independent, and
+// returns pointers for tree construction.
+func clone(in *Input) ([]nbody.Body, []*nbody.Body) {
+	bodies := append([]nbody.Body(nil), in.Bodies...)
+	ptrs := make([]*nbody.Body, len(bodies))
+	for i := range bodies {
+		ptrs[i] = &bodies[i]
+	}
+	return bodies, ptrs
+}
+
+// forceRange computes accelerations for bodies [lo, hi) against the tree,
+// storing into accs.
+func forceRange(root *nbody.Node, ptrs []*nbody.Body, accs []nbody.Vec3, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		accs[i] = root.Force(ptrs[i])
+	}
+}
+
+// integrateRange advances bodies [lo, hi).
+func integrateRange(ptrs []*nbody.Body, accs []nbody.Vec3, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		nbody.Integrate(ptrs[i], accs[i])
+	}
+}

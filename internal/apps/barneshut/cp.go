@@ -1,0 +1,37 @@
+package barneshut
+
+import (
+	"sync"
+
+	"repro/internal/nbody"
+)
+
+// RunCP is the conventional-parallel implementation in the style of the
+// Lonestar pthreads version: per step, a sequential tree build followed by
+// a fork-join parallel force-and-integrate phase over static body ranges.
+func RunCP(in *Input, workers int) *Output {
+	if workers < 1 {
+		workers = 1
+	}
+	bodies, ptrs := clone(in)
+	accs := make([]nbody.Vec3, len(ptrs))
+	n := len(ptrs)
+	for step := 0; step < in.Steps; step++ {
+		root := nbody.BuildTree(ptrs)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := n*w/workers, n*(w+1)/workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				forceRange(root, ptrs, accs, lo, hi)
+				integrateRange(ptrs, accs, lo, hi)
+			}()
+		}
+		wg.Wait()
+	}
+	return &Output{Bodies: bodies}
+}

@@ -1,0 +1,68 @@
+// Package blackscholes reproduces the PARSEC blackscholes benchmark
+// (Table 2): pricing a batch of European options with the Black-Scholes
+// closed-form solution. It is the embarrassingly-parallel end of the suite
+// — Figure 2's doall idiom — and scales nearly linearly (Figure 6).
+package blackscholes
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// Input is the option batch.
+type Input struct {
+	Options []workload.Option
+}
+
+// Output holds one price per option, in input order.
+type Output struct {
+	Prices []float64
+}
+
+// Load generates the input for a size class.
+func Load(size workload.SizeClass) *Input {
+	return &Input{Options: workload.GenerateOptions(101, workload.OptionsSize(size))}
+}
+
+// Rounds is how many times the PARSEC kernel reprices the batch; the
+// original uses 100 passes to give the benchmark measurable runtime.
+const Rounds = 25
+
+// cnd is the cumulative normal distribution (Abramowitz & Stegun 26.2.17
+// polynomial, the same approximation PARSEC uses).
+func cnd(x float64) float64 {
+	sign := false
+	if x < 0 {
+		sign = true
+		x = -x
+	}
+	k := 1 / (1 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	n := 1 - 1/math.Sqrt(2*math.Pi)*math.Exp(-x*x/2)*poly
+	if sign {
+		return 1 - n
+	}
+	return n
+}
+
+// Price computes the Black-Scholes value of one option.
+func Price(o workload.Option) float64 {
+	sqrtT := math.Sqrt(o.Time)
+	d1 := (math.Log(o.Spot/o.Strike) + (o.Rate+o.Vol*o.Vol/2)*o.Time) / (o.Vol * sqrtT)
+	d2 := d1 - o.Vol*sqrtT
+	discount := o.Strike * math.Exp(-o.Rate*o.Time)
+	if o.Call {
+		return o.Spot*cnd(d1) - discount*cnd(d2)
+	}
+	return discount*cnd(-d2) - o.Spot*cnd(-d1)
+}
+
+// priceRange prices options [lo, hi) into out, Rounds times.
+func priceRange(opts []workload.Option, out []float64, lo, hi int) {
+	for round := 0; round < Rounds; round++ {
+		for i := lo; i < hi; i++ {
+			out[i] = Price(opts[i])
+		}
+	}
+}

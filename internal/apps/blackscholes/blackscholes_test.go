@@ -1,0 +1,79 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func smallInput() *Input {
+	return &Input{Options: workload.GenerateOptions(5, 3000)}
+}
+
+func TestPriceKnownValues(t *testing.T) {
+	// Textbook check: S=100, K=100, r=5%, sigma=20%, T=1 -> call ~10.45,
+	// put ~5.57 (Hull). The A&S polynomial is good to ~1e-7.
+	call := Price(workload.Option{Spot: 100, Strike: 100, Rate: 0.05, Vol: 0.2, Time: 1, Call: true})
+	put := Price(workload.Option{Spot: 100, Strike: 100, Rate: 0.05, Vol: 0.2, Time: 1, Call: false})
+	if math.Abs(call-10.4506) > 0.001 {
+		t.Errorf("call = %f, want ~10.4506", call)
+	}
+	if math.Abs(put-5.5735) > 0.001 {
+		t.Errorf("put = %f, want ~5.5735", put)
+	}
+	// Put-call parity: C - P = S - K e^{-rT}.
+	parity := call - put - (100 - 100*math.Exp(-0.05))
+	if math.Abs(parity) > 1e-6 {
+		t.Errorf("put-call parity violated by %e", parity)
+	}
+}
+
+func TestCNDProperties(t *testing.T) {
+	if math.Abs(cnd(0)-0.5) > 1e-7 {
+		t.Errorf("cnd(0) = %f", cnd(0))
+	}
+	for _, x := range []float64{0.5, 1, 2, 3} {
+		if s := cnd(x) + cnd(-x); math.Abs(s-1) > 1e-7 {
+			t.Errorf("cnd(%f)+cnd(-%f) = %f, want 1", x, x, s)
+		}
+		if cnd(x) <= cnd(x-0.1) {
+			t.Errorf("cnd not increasing at %f", x)
+		}
+	}
+}
+
+func TestCPMatchesSeqExactly(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in)
+	for _, workers := range []int{1, 3, 8} {
+		got := RunCP(in, workers)
+		for i := range want.Prices {
+			if got.Prices[i] != want.Prices[i] {
+				t.Fatalf("workers=%d: price %d = %v, want %v", workers, i, got.Prices[i], want.Prices[i])
+			}
+		}
+	}
+}
+
+func TestSSMatchesSeqExactly(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in)
+	for _, delegates := range []int{1, 4, 8} {
+		got, st := RunSS(in, delegates)
+		for i := range want.Prices {
+			if got.Prices[i] != want.Prices[i] {
+				t.Fatalf("delegates=%d: price %d = %v, want %v", delegates, i, got.Prices[i], want.Prices[i])
+			}
+		}
+		if st.Delegations == 0 {
+			t.Errorf("delegates=%d: no delegations recorded", delegates)
+		}
+	}
+}
+
+func TestLoadSizes(t *testing.T) {
+	if n := len(Load(workload.Small).Options); n != workload.OptionsSize(workload.Small) {
+		t.Fatalf("Load(S) = %d options", n)
+	}
+}

@@ -1,0 +1,28 @@
+package blackscholes
+
+import "sync"
+
+// RunCP is the conventional-parallel implementation, mirroring the PARSEC
+// pthreads version: the option array is statically partitioned into one
+// contiguous range per worker thread; a barrier (WaitGroup) joins them.
+func RunCP(in *Input, workers int) *Output {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(in.Options)
+	out := &Output{Prices: make([]float64, n)}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			priceRange(in.Options, out.Prices, lo, hi)
+		}()
+	}
+	wg.Wait()
+	return out
+}

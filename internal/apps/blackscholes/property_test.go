@@ -1,0 +1,54 @@
+package blackscholes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// Property: prices are economically sane for arbitrary valid parameters —
+// non-negative, call below spot, put below discounted strike.
+func TestQuickPriceBounds(t *testing.T) {
+	f := func(spotRaw, strikeRaw, volRaw, timeRaw uint16) bool {
+		o := workload.Option{
+			Spot:   50 + float64(spotRaw%1000)/10,
+			Strike: 50 + float64(strikeRaw%1000)/10,
+			Rate:   0.03,
+			Vol:    0.05 + float64(volRaw%60)/100,
+			Time:   0.1 + float64(timeRaw%20)/10,
+		}
+		o.Call = true
+		call := Price(o)
+		o.Call = false
+		put := Price(o)
+		if call < -1e-9 || put < -1e-9 {
+			return false
+		}
+		// A European call is never worth more than the underlying.
+		return call <= o.Spot+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CP and SS are bit-identical to sequential on arbitrary batches.
+func TestQuickParallelEqualsSeq(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		in := &Input{Options: workload.GenerateOptions(seed, n)}
+		want := RunSeq(in)
+		cp := RunCP(in, 4)
+		ss, _ := RunSS(in, 3)
+		for i := range want.Prices {
+			if cp.Prices[i] != want.Prices[i] || ss.Prices[i] != want.Prices[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package blackscholes
+
+// RunSeq is the sequential reference implementation: the speedup baseline
+// of Figure 4.
+func RunSeq(in *Input) *Output {
+	out := &Output{Prices: make([]float64, len(in.Options))}
+	priceRange(in.Options, out.Prices, 0, len(in.Options))
+	return out
+}

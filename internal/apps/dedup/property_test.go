@@ -1,0 +1,56 @@
+package dedup
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the archive round-trips for arbitrary inputs, and both parallel
+// implementations produce the byte-identical canonical archive.
+func TestQuickRoundTripAndEquivalence(t *testing.T) {
+	f := func(data []byte) bool {
+		in := &Input{Data: data}
+		seq := RunSeq(in)
+		decoded, err := Decode(seq.Archive)
+		if err != nil || !bytes.Equal(decoded, data) {
+			return false
+		}
+		if cp := RunCP(in, 3); !bytes.Equal(cp.Archive, seq.Archive) {
+			return false
+		}
+		ss, _ := RunSS(in, 2)
+		return bytes.Equal(ss.Archive, seq.Archive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: duplicate counting is consistent — unique + references == chunks.
+func TestQuickArchiveStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		data := bytes.Repeat([]byte("abcdefgh"), 1<<12) // highly redundant
+		data = append(data, byte(seed))
+		out := RunSeq(&Input{Data: data})
+		unique, dups := 0, 0
+		archive := out.Archive
+		for len(archive) > 0 {
+			switch archive[0] {
+			case 'U':
+				unique++
+				n := int(uint32(archive[1])<<24 | uint32(archive[2])<<16 | uint32(archive[3])<<8 | uint32(archive[4]))
+				archive = archive[5+n:]
+			case 'D':
+				dups++
+				archive = archive[5:]
+			default:
+				return false
+			}
+		}
+		return unique == out.Unique && unique+dups == out.Chunks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package freqmine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fpm"
+	"repro/internal/workload"
+)
+
+func smallInput() *Input {
+	cfg := workload.TxnSize(workload.Small)
+	cfg.Count = 4000
+	txns := workload.GenerateTransactions(cfg)
+	// A higher support than the benchmark default keeps mining depth (and
+	// test time) modest while still producing thousands of itemsets.
+	return &Input{Txns: txns, MinSup: int(0.01 * float64(len(txns)))}
+}
+
+func TestSeqMatchesBruteForceOnTiny(t *testing.T) {
+	txns := []workload.Transaction{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3}, {2, 3}, {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+	}
+	in := &Input{Txns: txns, MinSup: 2}
+	got := RunSeq(in).Canonical()
+	want := fpm.BruteForce(txns, 2, 5)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("seq = %v\nwant %v", got, want)
+	}
+}
+
+func TestCPMatchesSeq(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in).Canonical()
+	for _, workers := range []int{1, 3, 8} {
+		got := RunCP(in, workers).Canonical()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: %d sets, want %d", workers, len(got), len(want))
+		}
+	}
+}
+
+func TestSSMatchesSeq(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in).Canonical()
+	for _, delegates := range []int{1, 4, 8} {
+		out, st := RunSS(in, delegates)
+		got := out.Canonical()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("delegates=%d: %d sets, want %d", delegates, len(got), len(want))
+		}
+		if st.Delegations == 0 {
+			t.Errorf("delegates=%d: nothing delegated", delegates)
+		}
+	}
+}
+
+func TestMiningFindsMultiItemSets(t *testing.T) {
+	out := RunSeq(smallInput())
+	multi := 0
+	for _, s := range out.Sets {
+		if len(s.Items) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-item frequent sets; workload or miner broken")
+	}
+}
+
+func TestHighSupportEmptyOutput(t *testing.T) {
+	in := smallInput()
+	in.MinSup = len(in.Txns) + 1
+	for _, out := range []*Output{RunSeq(in), RunCP(in, 4)} {
+		if len(out.Sets) != 0 {
+			t.Fatal("impossible support yielded itemsets")
+		}
+	}
+	if out, _ := RunSS(in, 2); len(out.Sets) != 0 {
+		t.Fatal("impossible support yielded itemsets (SS)")
+	}
+}

@@ -1,0 +1,10 @@
+package freqmine
+
+import "repro/internal/fpm"
+
+// RunSeq is the sequential reference: build the FP-tree, mine every item.
+// Like the PARSEC original, runners emit itemsets in discovery order; use
+// Output.Canonical to sort for comparison.
+func RunSeq(in *Input) *Output {
+	return &Output{Sets: fpm.Build(in.Txns, in.MinSup).MineAll()}
+}

@@ -1,0 +1,35 @@
+package histogram
+
+import "sync"
+
+// RunCP is the conventional-parallel implementation, mirroring the Phoenix
+// pthreads version: static ranges per worker, per-worker private partial
+// histograms, then a sequential merge by the main thread.
+func RunCP(in *Input, workers int) *Output {
+	if workers < 1 {
+		workers = 1
+	}
+	n := len(in.Pixels) / 3
+	type partial struct{ r, g, b Bins }
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(p *partial) {
+			defer wg.Done()
+			accumulate(in.Pixels, &p.r, &p.g, &p.b, lo, hi)
+		}(&parts[w])
+	}
+	wg.Wait()
+	out := &Output{}
+	for i := range parts {
+		addBins(&out.R, &parts[i].r)
+		addBins(&out.G, &parts[i].g)
+		addBins(&out.B, &parts[i].b)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Package histogram reproduces the Phoenix histogram benchmark (Table 2):
+// computing per-channel 256-bin histograms of an RGB bitmap. The kernel is
+// memory-bandwidth-bound, which is what makes its scaling curve in the
+// paper's Figure 6 peak and then degrade as contexts saturate the memory
+// system.
+package histogram
+
+import "repro/internal/workload"
+
+// Bins is the per-channel histogram.
+type Bins [256]int64
+
+// Input is the raw RGB pixel data (3 bytes per pixel).
+type Input struct {
+	Pixels []byte
+}
+
+// Output holds the three channel histograms.
+type Output struct {
+	R, G, B Bins
+}
+
+// Load generates the input for a size class.
+func Load(size workload.SizeClass) *Input {
+	return &Input{Pixels: workload.GenerateBitmap(202, workload.BitmapSize(size))}
+}
+
+// accumulate tallies pixels [lo, hi) (pixel indices, not byte offsets) into
+// the three histograms.
+func accumulate(pixels []byte, r, g, b *Bins, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		off := 3 * i
+		r[pixels[off]]++
+		g[pixels[off+1]]++
+		b[pixels[off+2]]++
+	}
+}
+
+// addBins folds src into dst.
+func addBins(dst, src *Bins) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}

@@ -1,0 +1,81 @@
+package histogram
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func smallInput() *Input {
+	return &Input{Pixels: workload.GenerateBitmap(3, 50000)}
+}
+
+func totals(o *Output) (int64, int64, int64) {
+	var r, g, b int64
+	for i := 0; i < 256; i++ {
+		r += o.R[i]
+		g += o.G[i]
+		b += o.B[i]
+	}
+	return r, g, b
+}
+
+func TestSeqCountsEveryPixel(t *testing.T) {
+	in := smallInput()
+	out := RunSeq(in)
+	r, g, b := totals(out)
+	want := int64(len(in.Pixels) / 3)
+	if r != want || g != want || b != want {
+		t.Fatalf("totals = %d/%d/%d, want %d", r, g, b, want)
+	}
+}
+
+func TestKnownTinyImage(t *testing.T) {
+	in := &Input{Pixels: []byte{10, 20, 30, 10, 20, 31, 255, 0, 0}}
+	out := RunSeq(in)
+	if out.R[10] != 2 || out.R[255] != 1 || out.G[20] != 2 || out.G[0] != 1 || out.B[30] != 1 || out.B[31] != 1 {
+		t.Fatalf("histogram wrong: %+v", out.R[:16])
+	}
+}
+
+func TestCPMatchesSeq(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in)
+	for _, workers := range []int{1, 2, 7, 16} {
+		got := RunCP(in, workers)
+		if *got != *want {
+			t.Fatalf("workers=%d: histograms differ", workers)
+		}
+	}
+}
+
+func TestSSMatchesSeq(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in)
+	for _, delegates := range []int{1, 3, 8} {
+		got, _ := RunSS(in, delegates)
+		if *got != *want {
+			t.Fatalf("delegates=%d: histograms differ", delegates)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	in := &Input{}
+	if got := RunSeq(in); got.R[0] != 0 {
+		t.Fatal("empty input should produce zero histogram")
+	}
+	got, _ := RunSS(in, 2)
+	if r, g, b := totals(got); r+g+b != 0 {
+		t.Fatal("empty SS run should produce zero histogram")
+	}
+	if got := RunCP(in, 4); got.R[0] != 0 {
+		t.Fatal("empty CP run should produce zero histogram")
+	}
+}
+
+func TestLoadSizes(t *testing.T) {
+	if n := len(Load(workload.Small).Pixels); n != 3*workload.BitmapSize(workload.Small) {
+		t.Fatalf("Load(S) = %d bytes", n)
+	}
+}

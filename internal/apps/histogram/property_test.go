@@ -1,0 +1,23 @@
+package histogram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary pixel data, both parallel implementations equal
+// the sequential histogram exactly (integer counting is order-free).
+func TestQuickParallelEqualsSeq(t *testing.T) {
+	f := func(pixels []byte) bool {
+		in := &Input{Pixels: pixels[:len(pixels)/3*3]}
+		want := RunSeq(in)
+		if got := RunCP(in, 5); *got != *want {
+			return false
+		}
+		got, _ := RunSS(in, 3)
+		return *got == *want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

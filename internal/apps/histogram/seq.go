@@ -1,0 +1,8 @@
+package histogram
+
+// RunSeq is the sequential reference implementation.
+func RunSeq(in *Input) *Output {
+	out := &Output{}
+	accumulate(in.Pixels, &out.R, &out.G, &out.B, 0, len(in.Pixels)/3)
+	return out
+}

@@ -1,0 +1,51 @@
+package histogram
+
+import (
+	prometheus "repro"
+)
+
+// RunSS is the serialization-sets implementation: pixel chunks are wrapped
+// in Writables and delegated with DoAll; the histograms are a reducible
+// (paper §2.2 technique 2), so each context accumulates privately and the
+// final bins appear on first use after EndIsolation. The reduction is tiny
+// relative to the scan, matching the paper's Figure 5a (histogram's
+// reduction time is negligible).
+func RunSS(in *Input, delegates int) (*Output, prometheus.Stats) {
+	rt := prometheus.Init(prometheus.WithDelegates(delegates))
+	defer rt.Terminate()
+	return RunSSOn(rt, in)
+}
+
+// RunSSOn runs with a caller-supplied runtime.
+func RunSSOn(rt *prometheus.Runtime, in *Input) (*Output, prometheus.Stats) {
+	type hist struct{ r, g, b Bins }
+	red := prometheus.NewReducible(rt,
+		func() hist { return hist{} },
+		func(dst, src *hist) {
+			addBins(&dst.r, &src.r)
+			addBins(&dst.g, &src.g)
+			addBins(&dst.b, &src.b)
+		})
+	n := len(in.Pixels) / 3
+	nChunks := 8 * (rt.NumDelegates() + 1)
+	if nChunks > n && n > 0 {
+		nChunks = n
+	}
+	type rng struct{ lo, hi int }
+	ws := make([]*prometheus.Writable[rng], 0, nChunks)
+	for c := 0; c < nChunks; c++ {
+		lo, hi := n*c/nChunks, n*(c+1)/nChunks
+		if lo != hi {
+			ws = append(ws, prometheus.NewWritable(rt, rng{lo, hi}))
+		}
+	}
+	pixels := in.Pixels
+	rt.BeginIsolation()
+	prometheus.DoAll(ws, func(c *prometheus.Ctx, r *rng) {
+		view := red.View(c)
+		accumulate(pixels, &view.r, &view.g, &view.b, r.lo, r.hi)
+	})
+	rt.EndIsolation()
+	final := red.Result()
+	return &Output{R: final.r, G: final.g, B: final.b}, rt.Stats()
+}

@@ -1,0 +1,123 @@
+// Package kmeans reproduces the NU-MineBench kmeans benchmark (Table 2):
+// Lloyd's algorithm over an n-dimensional point cloud. The paper reports
+// that its Prometheus port used "an inferior algorithm" — iterating over
+// points and cluster updates separately — and proposes fixing it with
+// partial sums and a reduction (§5.1). Both are implemented here: RunSS
+// uses the proposed reduction formulation, RunSSNaive the two-pass version
+// the paper measured, which is the basis of the kmeans ablation benchmark.
+package kmeans
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// Input is the point cloud plus clustering parameters.
+type Input struct {
+	Points   []workload.Point
+	Clusters int
+	Iters    int
+	Dims     int
+}
+
+// Output is the final centroids and each point's cluster assignment.
+type Output struct {
+	Centroids []workload.Point
+	Assign    []int
+}
+
+// Load generates the input for a size class.
+func Load(size workload.SizeClass) *Input {
+	cfg := workload.KMeansSize(size)
+	return &Input{
+		Points:   workload.GeneratePoints(cfg),
+		Clusters: cfg.Clusters,
+		Iters:    cfg.Iters,
+		Dims:     cfg.Dims,
+	}
+}
+
+// initialCentroids picks the first k points, the deterministic seeding
+// NU-MineBench uses.
+func initialCentroids(in *Input) []workload.Point {
+	cents := make([]workload.Point, in.Clusters)
+	for i := range cents {
+		cents[i] = append(workload.Point(nil), in.Points[i%len(in.Points)]...)
+	}
+	return cents
+}
+
+// dist2 is squared Euclidean distance.
+func dist2(a, b workload.Point) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// nearest returns the index of the closest centroid, ties broken by lowest
+// index so every implementation assigns identically.
+func nearest(p workload.Point, cents []workload.Point) int {
+	best, bestD := 0, math.MaxFloat64
+	for c, cent := range cents {
+		if d := dist2(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// partial accumulates per-cluster coordinate sums and member counts; the
+// unit both the CP merge and the SS reduction combine.
+type partial struct {
+	sums   [][]float64 // [cluster][dim]
+	counts []int64
+}
+
+func newPartial(clusters, dims int) partial {
+	p := partial{sums: make([][]float64, clusters), counts: make([]int64, clusters)}
+	for c := range p.sums {
+		p.sums[c] = make([]float64, dims)
+	}
+	return p
+}
+
+func (p *partial) add(cluster int, pt workload.Point) {
+	p.counts[cluster]++
+	row := p.sums[cluster]
+	for d := range pt {
+		row[d] += pt[d]
+	}
+}
+
+func (p *partial) merge(src *partial) {
+	for c := range p.sums {
+		p.counts[c] += src.counts[c]
+		dst, s := p.sums[c], src.sums[c]
+		for d := range dst {
+			dst[d] += s[d]
+		}
+	}
+}
+
+// centroidsFrom turns accumulated sums into new centroids; empty clusters
+// keep their previous centroid (NU-MineBench behaviour).
+func centroidsFrom(p *partial, prev []workload.Point) []workload.Point {
+	cents := make([]workload.Point, len(prev))
+	for c := range cents {
+		if p.counts[c] == 0 {
+			cents[c] = append(workload.Point(nil), prev[c]...)
+			continue
+		}
+		row := make(workload.Point, len(prev[c]))
+		inv := 1 / float64(p.counts[c])
+		for d := range row {
+			row[d] = p.sums[c][d] * inv
+		}
+		cents[c] = row
+	}
+	return cents
+}

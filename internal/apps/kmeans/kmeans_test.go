@@ -1,0 +1,119 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func smallInput() *Input {
+	cfg := workload.KMeansConfig{Seed: 4, Points: 3000, Clusters: 12, Dims: 6, Iters: 5}
+	return &Input{Points: workload.GeneratePoints(cfg), Clusters: 12, Iters: 5, Dims: 6}
+}
+
+// centroidsClose compares centroid sets with a tolerance: parallel variants
+// sum coordinates in different orders, so bit-equality is not required
+// (floating-point addition is not associative), but the results must agree
+// to high precision.
+func centroidsClose(t *testing.T, got, want []workload.Point, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d centroids, want %d", label, len(got), len(want))
+	}
+	for c := range want {
+		for d := range want[c] {
+			if math.Abs(got[c][d]-want[c][d]) > 1e-6 {
+				t.Fatalf("%s: centroid %d dim %d = %f, want %f", label, c, d, got[c][d], want[c][d])
+			}
+		}
+	}
+}
+
+func assignEqual(t *testing.T, got, want []int, label string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: point %d assigned to %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestNearestTieBreak(t *testing.T) {
+	p := workload.Point{0, 0}
+	cents := []workload.Point{{1, 0}, {-1, 0}, {0, 1}}
+	if got := nearest(p, cents); got != 0 {
+		t.Fatalf("tie should break to lowest index, got %d", got)
+	}
+}
+
+func TestSeqConverges(t *testing.T) {
+	// With enough iterations Lloyd's algorithm reaches a fixed point, where
+	// every point is assigned to its nearest final centroid. (Mid-run,
+	// assignments lag the final centroid update by one iteration.)
+	in := smallInput()
+	in.Iters = 100
+	out := RunSeq(in)
+	for i, p := range in.Points {
+		if out.Assign[i] != nearest(p, out.Centroids) {
+			t.Fatalf("point %d not assigned to nearest final centroid", i)
+		}
+	}
+}
+
+func TestCPMatchesSeq(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in)
+	for _, workers := range []int{1, 3, 8} {
+		got := RunCP(in, workers)
+		assignEqual(t, got.Assign, want.Assign, "cp")
+		centroidsClose(t, got.Centroids, want.Centroids, "cp")
+	}
+}
+
+func TestSSMatchesSeq(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in)
+	for _, delegates := range []int{1, 4} {
+		got, _ := RunSS(in, delegates)
+		assignEqual(t, got.Assign, want.Assign, "ss")
+		centroidsClose(t, got.Centroids, want.Centroids, "ss")
+	}
+}
+
+func TestSSNaiveMatchesSeq(t *testing.T) {
+	in := smallInput()
+	want := RunSeq(in)
+	got, _ := RunSSNaive(in, 4)
+	assignEqual(t, got.Assign, want.Assign, "ss-naive")
+	centroidsClose(t, got.Centroids, want.Centroids, "ss-naive")
+}
+
+func TestEmptyClustersKeepCentroid(t *testing.T) {
+	// Two far points, 3 clusters seeded from the first points: cluster 2
+	// duplicates cluster 0's seed and ends up empty, keeping its centroid.
+	in := &Input{
+		Points:   []workload.Point{{0, 0}, {10, 10}},
+		Clusters: 3,
+		Iters:    3,
+		Dims:     2,
+	}
+	out := RunSeq(in)
+	if len(out.Centroids) != 3 {
+		t.Fatal("centroid count changed")
+	}
+	for _, c := range out.Centroids {
+		for _, v := range c {
+			if math.IsNaN(v) {
+				t.Fatal("NaN centroid from empty cluster")
+			}
+		}
+	}
+}
+
+func TestZeroIters(t *testing.T) {
+	in := smallInput()
+	in.Iters = 0
+	out := RunSeq(in)
+	centroidsClose(t, out.Centroids, initialCentroids(in), "zero-iters")
+}

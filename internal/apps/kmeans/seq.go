@@ -1,0 +1,18 @@
+package kmeans
+
+// RunSeq is the sequential reference: assignment and accumulation fused in
+// one pass per iteration, like the original benchmark.
+func RunSeq(in *Input) *Output {
+	cents := initialCentroids(in)
+	assign := make([]int, len(in.Points))
+	for it := 0; it < in.Iters; it++ {
+		acc := newPartial(in.Clusters, in.Dims)
+		for i, p := range in.Points {
+			c := nearest(p, cents)
+			assign[i] = c
+			acc.add(c, p)
+		}
+		cents = centroidsFrom(&acc, cents)
+	}
+	return &Output{Centroids: cents, Assign: assign}
+}

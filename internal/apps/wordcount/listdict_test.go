@@ -1,0 +1,87 @@
+package wordcount
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCmpWordBytes(t *testing.T) {
+	for _, tc := range []struct {
+		a    string
+		b    string
+		want int
+	}{
+		{"abc", "abc", 0}, {"abc", "abd", -1}, {"abd", "abc", 1},
+		{"ab", "abc", -1}, {"abc", "ab", 1}, {"", "", 0}, {"", "x", -1},
+	} {
+		if got := cmpWordBytes(tc.a, []byte(tc.b)); got != tc.want {
+			t.Errorf("cmp(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestListDictAddKeepsSorted(t *testing.T) {
+	d := &listDict{}
+	for _, w := range []string{"pear", "apple", "fig", "apple", "banana", "fig", "fig"} {
+		d.add([]byte(w))
+	}
+	wantWords := []string{"apple", "banana", "fig", "pear"}
+	wantCounts := []int64{2, 1, 3, 1}
+	if !reflect.DeepEqual(d.words, wantWords) || !reflect.DeepEqual(d.counts, wantCounts) {
+		t.Fatalf("dict = %v %v", d.words, d.counts)
+	}
+}
+
+func TestMergeList(t *testing.T) {
+	a, b := &listDict{}, &listDict{}
+	for _, w := range []string{"a", "c", "e", "a"} {
+		a.add([]byte(w))
+	}
+	for _, w := range []string{"b", "c", "f"} {
+		b.add([]byte(w))
+	}
+	m := mergeList(a, b)
+	want := map[string]int64{"a": 2, "b": 1, "c": 2, "e": 1, "f": 1}
+	if got := m.freeze(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(m.words, []string{"a", "b", "c", "e", "f"}) {
+		t.Fatalf("merge lost sort order: %v", m.words)
+	}
+}
+
+func TestMergeListEmptySides(t *testing.T) {
+	a := &listDict{}
+	a.add([]byte("x"))
+	if got := mergeList(a, &listDict{}).freeze(); got["x"] != 1 {
+		t.Fatal("merge with empty right failed")
+	}
+	if got := mergeList(&listDict{}, a).freeze(); got["x"] != 1 {
+		t.Fatal("merge with empty left failed")
+	}
+}
+
+// TestQuickListDictEqualsHashDict: the baseline's sorted-list dictionary
+// and the SS hash dictionary must agree on any input.
+func TestQuickListDictEqualsHashDict(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var text []byte
+		for i := 0; i < int(n); i++ {
+			for j := 0; j < 1+r.Intn(5); j++ {
+				text = append(text, byte('a'+r.Intn(4)))
+			}
+			text = append(text, ' ')
+		}
+		ld := &listDict{}
+		countIntoList(text, ld)
+		hd := newDict()
+		countInto(text, hd)
+		return reflect.DeepEqual(ld.freeze(), hd.freeze())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,13 @@
+package wordcount
+
+// RunSeq is the sequential reference implementation. Like the original
+// Phoenix word_count (the paper normalizes speedups "to the execution time
+// of the original sequential program"), it uses the sorted-list dictionary;
+// the hash dictionary is the Prometheus-side structure (the paper's
+// reducible map).
+func RunSeq(in *Input) *Output {
+	d := &listDict{}
+	countIntoList(in.Text, d)
+	counts := d.freeze()
+	return &Output{Counts: counts, Top: top(counts, TopN)}
+}

@@ -1,0 +1,102 @@
+package core
+
+import "runtime"
+
+// SchedPolicy selects how serialization sets are assigned to delegate
+// contexts.
+type SchedPolicy int
+
+const (
+	// StaticMod is the paper's policy (§4): the serialization-set id modulo
+	// the number of virtual delegates picks a virtual delegate, and a fixed
+	// table maps virtual delegates to physical contexts.
+	StaticMod SchedPolicy = iota
+	// LeastLoaded is the dynamic-scheduling extension the paper names as
+	// future work: the first operation of a set in an epoch is assigned to
+	// the delegate with the shortest queue, and the set stays sticky to that
+	// delegate for the rest of the epoch (preserving per-set ordering).
+	LeastLoaded
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case StaticMod:
+		return "static-mod"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Runtime. The zero value is usable: it selects
+// GOMAXPROCS-1 delegates, the paper's static modulus policy, and no program-
+// context share.
+type Config struct {
+	// Delegates is the number of delegate contexts (paper: delegate
+	// threads). Default: GOMAXPROCS-1, minimum 1.
+	Delegates int
+
+	// VirtualDelegates is the number of virtual delegates used by the
+	// static assignment table (paper §4). It must be >= Delegates. Default:
+	// 4 * (Delegates + program share), giving the modulus some slack to
+	// spread sets.
+	VirtualDelegates int
+
+	// ProgramShare is the number of virtual delegates assigned to the
+	// program context itself (the paper's assignment ratio): operations in
+	// those sets execute inline in the program thread. Default 0.
+	ProgramShare int
+
+	// QueueCapacity is the per-delegate communication-queue capacity.
+	// Default spsc.DefaultCapacity.
+	QueueCapacity int
+
+	// Sequential enables the paper's debug mode (§3.3): every delegation
+	// executes inline in the program context, in program order, while all
+	// serializers and dynamic checks still run. The program computes the
+	// same answers with a single goroutine.
+	Sequential bool
+
+	// Checked enables the dynamic error detection of §3.3 (serializer
+	// consistency tagging, partition state machines). Benchmarks disable it,
+	// as the paper does for its performance measurements.
+	Checked bool
+
+	// Policy selects the delegate-assignment policy.
+	Policy SchedPolicy
+
+	// Trace enables execution tracing: every delegated-operation execution,
+	// synchronization, and epoch transition is recorded with timestamps
+	// into per-context buffers, retrievable via Runtime.TraceEvents.
+	Trace bool
+
+	// Recursive enables recursive delegation (the paper's named future-work
+	// extension): delegated operations may delegate further operations
+	// through their execution context. Requires StaticMod and a zero
+	// ProgramShare; see internal/core/recursive.go for the semantics.
+	Recursive bool
+}
+
+// withDefaults returns a copy of c with unset fields filled in.
+func (c Config) withDefaults() Config {
+	if c.Delegates <= 0 {
+		c.Delegates = runtime.GOMAXPROCS(0) - 1
+		if c.Delegates < 1 {
+			c.Delegates = 1
+		}
+	}
+	if c.ProgramShare < 0 {
+		c.ProgramShare = 0
+	}
+	if c.VirtualDelegates <= 0 {
+		c.VirtualDelegates = 4 * (c.Delegates + c.ProgramShare)
+	}
+	if c.VirtualDelegates < c.Delegates+c.ProgramShare {
+		c.VirtualDelegates = c.Delegates + c.ProgramShare
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 1024
+	}
+	return c
+}

@@ -1,0 +1,23 @@
+package core
+
+// invocationKind discriminates the message types carried on the
+// communication queues (paper §4: invocation objects, synchronization
+// objects, termination objects).
+type invocationKind uint8
+
+const (
+	kindMethod    invocationKind = iota // delegated method call
+	kindSync                            // ownership-reclaim / barrier marker
+	kindTerminate                       // shut down the delegate
+)
+
+// Invocation is the unit of communication between the program context and a
+// delegate context. For kindMethod it carries the delegated closure and the
+// serialization-set id it was mapped to; for kindSync and kindTerminate the
+// delegate signals done and (for terminate) exits.
+type Invocation struct {
+	kind invocationKind
+	set  uint64
+	fn   func(ctx int)
+	done chan struct{}
+}

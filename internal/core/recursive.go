@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spsc"
+)
+
+// Recursive delegation — the extension the paper names as future work
+// ("we plan to extend the runtime to support recursive delegation to
+// improve programmability", §4). With Config.Recursive enabled, delegated
+// operations may themselves delegate further operations through their
+// execution context.
+//
+// Plumbing: SPSC queues admit a single producer, so in recursive mode each
+// delegate owns one inbound queue per producer context (program context and
+// every delegate), and its loop polls those lanes round-robin, parking on a
+// wake channel when all are empty. Per-set program order is preserved per
+// producer: operations a producer sends to one set stay in order (one lane,
+// FIFO). For the execution to stay deterministic, a serialization set must
+// receive delegations from only one producer context per isolation epoch —
+// the natural structure of divide-and-conquer programs, and checked mode
+// enforces it.
+//
+// Barriers change meaning under recursion: draining every queue once is not
+// enough, because executing an operation may enqueue more work. The runtime
+// counts enqueued and executed operations and repeats drain rounds until
+// the counts agree (quiescence).
+
+// recDelegate is a delegate context in recursive mode. Lanes are
+// unbounded queues: a delegate may delegate to a set it itself owns, and a
+// bounded lane would self-deadlock when full (only the pushing context
+// could drain it).
+type recDelegate struct {
+	id    int
+	lanes []*spsc.Unbounded[Invocation] // indexed by producer context id
+	wake  chan struct{}
+}
+
+// recState is the recursive-mode extension of Runtime.
+type recState struct {
+	delegates []*recDelegate
+	enqueued  atomic.Int64
+	executed  atomic.Int64
+	// setProducer tags each set's producer this epoch (checked mode only);
+	// guarded by mu because delegations race in from every context.
+	mu          sync.Mutex
+	setProducer map[uint64]int
+}
+
+// checkProducer enforces the recursive-mode determinism discipline: one
+// producer context per serialization set per isolation epoch.
+func (rec *recState) checkProducer(set uint64, producer int) {
+	rec.mu.Lock()
+	prev, ok := rec.setProducer[set]
+	if !ok {
+		rec.setProducer[set] = producer
+	}
+	rec.mu.Unlock()
+	if ok && prev != producer {
+		panic(fmt.Sprintf(
+			"prometheus: serializer violation: set %d delegated from context %d after context %d in one epoch (recursive mode requires one producer per set)",
+			set, producer, prev))
+	}
+}
+
+// initRecursive builds the lane matrix and starts the polling loops.
+func (rt *Runtime) initRecursive() {
+	cfg := rt.cfg
+	rec := &recState{}
+	if cfg.Checked {
+		rec.setProducer = make(map[uint64]int)
+	}
+	nProducers := cfg.Delegates + 1
+	for i := 0; i < cfg.Delegates; i++ {
+		d := &recDelegate{
+			id:   i + 1,
+			wake: make(chan struct{}, 1),
+		}
+		for p := 0; p < nProducers; p++ {
+			d.lanes = append(d.lanes, spsc.NewUnbounded[Invocation]())
+		}
+		rec.delegates = append(rec.delegates, d)
+		rt.wg.Add(1)
+		go rt.recLoop(d)
+	}
+	rt.rec = rec
+}
+
+// recLoop polls the delegate's lanes round-robin. The spin/park balance
+// mirrors the SPSC queue's own blocking behaviour.
+func (rt *Runtime) recLoop(d *recDelegate) {
+	defer rt.wg.Done()
+	const spinBeforePark = 128
+	spin := 0
+	for {
+		progress := false
+		for _, lane := range d.lanes {
+			inv := lane.TryPop()
+			if inv == nil {
+				continue
+			}
+			progress = true
+			switch inv.kind {
+			case kindMethod:
+				inv.fn(d.id)
+				rt.rec.executed.Add(1)
+			case kindSync:
+				close(inv.done)
+			case kindTerminate:
+				close(inv.done)
+				return
+			}
+		}
+		if progress {
+			spin = 0
+			continue
+		}
+		spin++
+		if spin < spinBeforePark {
+			continue
+		}
+		// Park until a producer signals. Producers signal after every
+		// push, so a lost race just costs one extra poll round.
+		select {
+		case <-d.wake:
+		default:
+			if d.anyReady() {
+				continue
+			}
+			<-d.wake
+		}
+		spin = 0
+	}
+}
+
+func (d *recDelegate) anyReady() bool {
+	for _, lane := range d.lanes {
+		if !lane.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *recDelegate) signal() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// delegateFrom routes a delegation from any producer context in recursive
+// mode. Inline execution is not used: every set is owned by a delegate
+// (ProgramShare is rejected under Recursive), so ordering never depends on
+// which context produced the operation.
+func (rt *Runtime) delegateFrom(producer int, set uint64, fn func(ctx int)) int {
+	if rt.cfg.Sequential {
+		rt.stats.InlineExecs++
+		fn(ProgramContext)
+		return ProgramContext
+	}
+	if rt.rec.setProducer != nil {
+		rt.rec.checkProducer(set, producer)
+	}
+	owner := rt.vmap[set%uint64(len(rt.vmap))]
+	d := rt.rec.delegates[owner-1]
+	rt.rec.enqueued.Add(1)
+	d.lanes[producer].Push(&Invocation{kind: kindMethod, set: set, fn: fn})
+	d.signal()
+	return owner
+}
+
+// recBarrier waits until every delegate has drained every lane and no
+// operation remains in flight: drain rounds repeat until the
+// enqueued/executed counters agree across a full quiet round.
+func (rt *Runtime) recBarrier() {
+	for {
+		before := rt.rec.enqueued.Load()
+		// Round: flush lane 0 (program) of every delegate with a sync
+		// object, which also forces each loop to pass over all lanes.
+		dones := make([]chan struct{}, 0, len(rt.rec.delegates))
+		for _, d := range rt.rec.delegates {
+			done := make(chan struct{})
+			d.lanes[ProgramContext].Push(&Invocation{kind: kindSync, done: done})
+			d.signal()
+			dones = append(dones, done)
+		}
+		for _, done := range dones {
+			<-done
+		}
+		if rt.rec.executed.Load() == before && rt.rec.enqueued.Load() == before {
+			return
+		}
+	}
+}
+
+// recTerminate shuts down the recursive delegate pool.
+func (rt *Runtime) recTerminate() {
+	rt.recBarrier()
+	for _, d := range rt.rec.delegates {
+		done := make(chan struct{})
+		d.lanes[ProgramContext].Push(&Invocation{kind: kindTerminate, done: done})
+		d.signal()
+		<-done
+	}
+}

@@ -1,0 +1,414 @@
+// Package core implements the Prometheus runtime for the serialization-sets
+// execution model (Allen, Sridharan & Sohi, PPoPP 2009): a program context
+// that delegates operations, a pool of delegate contexts each fed by a
+// private FastForward SPSC queue, virtual-delegate assignment, epoch
+// management, ownership synchronization, and per-phase instrumentation.
+//
+// This package is the engine; the exported user-facing API (wrappers,
+// serializers, reducibles) lives in the repository root package prometheus.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/spsc"
+)
+
+// timeNow is a seam kept trivial; trace timestamps flow through it.
+func timeNow() time.Time { return time.Now() }
+
+// ProgramContext is the context id of the program thread. Delegate contexts
+// are numbered 1..Delegates.
+const ProgramContext = 0
+
+type delegate struct {
+	id    int // context id (1-based)
+	queue *spsc.Queue[Invocation]
+}
+
+// Runtime orchestrates parallel execution of delegated operations. All
+// methods must be called from the program context (the goroutine that called
+// New), except none: delegated closures interact with the runtime only
+// through the context id they are handed.
+type Runtime struct {
+	cfg Config
+
+	delegates []*delegate
+	wg        sync.WaitGroup
+
+	// vmap maps virtual delegate -> context id (ProgramContext or 1..D).
+	vmap []int
+
+	epoch       uint64 // isolation epochs begun; wrappers version state on it
+	inIsolation bool
+	terminated  bool
+
+	// dirty[d] is true when delegate d (1-based index d-1) has been sent
+	// work since the last barrier; lets barriers and syncs skip idle queues.
+	dirty []bool
+
+	// setOwner gives the sticky set->context assignment for the
+	// LeastLoaded policy within the current epoch.
+	setOwner map[uint64]int
+
+	// rec holds the recursive-delegation state (nil unless Config.Recursive).
+	rec *recState
+
+	// traceSt holds trace buffers (nil unless Config.Trace).
+	traceSt    *traceState
+	epochStart time.Time
+
+	stats Stats
+	clock phaseClock
+}
+
+// New creates and starts a runtime (paper: initialize()). The calling
+// goroutine becomes the program context.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:   cfg,
+		vmap:  buildAssignment(cfg),
+		dirty: make([]bool, cfg.Delegates),
+		clock: newPhaseClock(),
+	}
+	if cfg.Policy == LeastLoaded {
+		rt.setOwner = make(map[uint64]int)
+	}
+	if cfg.Trace {
+		rt.traceSt = newTraceState(cfg.Delegates + 1)
+	}
+	if cfg.Sequential {
+		return rt // no delegate goroutines at all in debug mode
+	}
+	if cfg.Recursive {
+		if cfg.ProgramShare != 0 {
+			panic("prometheus: ProgramShare is incompatible with Recursive (sets must be delegate-owned)")
+		}
+		if cfg.Policy != StaticMod {
+			panic("prometheus: Recursive requires the StaticMod policy")
+		}
+		rt.initRecursive()
+		return rt
+	}
+	for i := 0; i < cfg.Delegates; i++ {
+		d := &delegate{id: i + 1, queue: spsc.NewQueue[Invocation](cfg.QueueCapacity)}
+		rt.delegates = append(rt.delegates, d)
+		rt.wg.Add(1)
+		go rt.delegateLoop(d)
+	}
+	return rt
+}
+
+// buildAssignment constructs the virtual-delegate table (paper §4): the
+// first ProgramShare virtual delegates map to the program context, the rest
+// round-robin across delegate contexts.
+func buildAssignment(cfg Config) []int {
+	vmap := make([]int, cfg.VirtualDelegates)
+	for v := range vmap {
+		if v < cfg.ProgramShare {
+			vmap[v] = ProgramContext
+		} else {
+			vmap[v] = (v-cfg.ProgramShare)%cfg.Delegates + 1
+		}
+	}
+	return vmap
+}
+
+// delegateLoop is the body of a delegate context: repeatedly read invocation
+// objects from the communication queue and execute them (paper §4).
+func (rt *Runtime) delegateLoop(d *delegate) {
+	defer rt.wg.Done()
+	for {
+		inv := d.queue.Pop()
+		if inv == nil { // queue closed and drained
+			return
+		}
+		switch inv.kind {
+		case kindMethod:
+			inv.fn(d.id)
+		case kindSync:
+			close(inv.done)
+		case kindTerminate:
+			close(inv.done)
+			return
+		}
+	}
+}
+
+// Config returns the effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// NumContexts returns the number of execution contexts (program + delegates);
+// context ids are in [0, NumContexts).
+func (rt *Runtime) NumContexts() int { return rt.cfg.Delegates + 1 }
+
+// Epoch returns the current isolation-epoch number. It is 0 before the first
+// BeginIsolation; wrappers use it to lazily version their state machines.
+func (rt *Runtime) Epoch() uint64 { return rt.epoch }
+
+// InIsolation reports whether an isolation epoch is open.
+func (rt *Runtime) InIsolation() bool { return rt.inIsolation }
+
+// BeginIsolation opens an isolation epoch (paper: begin_isolation()).
+func (rt *Runtime) BeginIsolation() {
+	if rt.terminated {
+		panic("prometheus: BeginIsolation after Terminate")
+	}
+	if rt.inIsolation {
+		panic("prometheus: nested BeginIsolation")
+	}
+	rt.epoch++
+	rt.inIsolation = true
+	rt.stats.Epochs++
+	if rt.traceSt != nil {
+		rt.epochStart = timeNow()
+	}
+	if rt.setOwner != nil && len(rt.setOwner) > 0 {
+		rt.setOwner = make(map[uint64]int) // new epoch, new partition
+	}
+	if rt.rec != nil && rt.rec.setProducer != nil && len(rt.rec.setProducer) > 0 {
+		rt.rec.setProducer = make(map[uint64]int)
+	}
+	rt.clock.switchTo(PhaseIsolation, &rt.stats)
+}
+
+// EndIsolation synchronizes the program context with all delegate contexts
+// and reverts to an aggregation epoch (paper: end_isolation()).
+func (rt *Runtime) EndIsolation() {
+	if !rt.inIsolation {
+		panic("prometheus: EndIsolation without BeginIsolation")
+	}
+	rt.barrier()
+	rt.inIsolation = false
+	if rt.traceSt != nil {
+		rt.traceSt.record(ProgramContext, TraceEpoch, uint64(rt.epoch), rt.epochStart, timeNow())
+	}
+	rt.clock.switchTo(PhaseAggregation, &rt.stats)
+}
+
+// ContextFor returns the context id that operations in the given
+// serialization set execute on, under the configured policy.
+func (rt *Runtime) ContextFor(set uint64) int {
+	if rt.cfg.Sequential {
+		return ProgramContext
+	}
+	switch rt.cfg.Policy {
+	case LeastLoaded:
+		if ctx, ok := rt.setOwner[set]; ok {
+			return ctx
+		}
+		best, bestLen := 1, int(^uint(0)>>1)
+		for _, d := range rt.delegates {
+			if n := d.queue.Len(); n < bestLen {
+				best, bestLen = d.id, n
+			}
+		}
+		rt.setOwner[set] = best
+		return best
+	default:
+		return rt.vmap[set%uint64(len(rt.vmap))]
+	}
+}
+
+// Delegate assigns fn to the serialization set's context and returns that
+// context id. Operations mapped to the program context (or every operation
+// in Sequential mode) run inline, preserving per-set program order.
+func (rt *Runtime) Delegate(set uint64, fn func(ctx int)) int {
+	if rt.terminated {
+		panic("prometheus: Delegate after Terminate")
+	}
+	fn = rt.traceExec(set, fn)
+	if rt.rec != nil {
+		rt.stats.Delegations++
+		return rt.delegateFrom(ProgramContext, set, fn)
+	}
+	ctx := rt.ContextFor(set)
+	if ctx == ProgramContext {
+		rt.stats.InlineExecs++
+		fn(ProgramContext)
+		return ctx
+	}
+	rt.stats.Delegations++
+	d := rt.delegates[ctx-1]
+	rt.dirty[ctx-1] = true
+	d.queue.Push(&Invocation{kind: kindMethod, set: set, fn: fn})
+	return ctx
+}
+
+// DelegateFrom routes a delegation issued by an arbitrary execution context
+// (recursive delegation). producer must be the context id actually running
+// the call. Requires Config.Recursive (or Sequential debug mode).
+func (rt *Runtime) DelegateFrom(producer int, set uint64, fn func(ctx int)) int {
+	if rt.cfg.Sequential {
+		rt.stats.InlineExecs++
+		fn(ProgramContext)
+		return ProgramContext
+	}
+	if rt.rec == nil {
+		panic("prometheus: recursive delegation requires the Recursive option")
+	}
+	return rt.delegateFrom(producer, set, rt.traceExec(set, fn))
+}
+
+// Recursive reports whether recursive delegation is enabled.
+func (rt *Runtime) Recursive() bool { return rt.rec != nil }
+
+// SyncContext blocks until the given delegate context has executed every
+// invocation enqueued before this call (paper: synchronization objects). It
+// is how the program context reclaims ownership of a data domain. Syncing
+// the program context is a no-op.
+func (rt *Runtime) SyncContext(ctx int) {
+	if ctx == ProgramContext || rt.cfg.Sequential {
+		return
+	}
+	if rt.rec != nil {
+		// Under recursion a single-lane sync cannot witness work produced
+		// by other contexts; fall back to the quiescence barrier.
+		rt.stats.Syncs++
+		rt.recBarrier()
+		return
+	}
+	if ctx < 1 || ctx > len(rt.delegates) {
+		panic(fmt.Sprintf("prometheus: SyncContext(%d) out of range", ctx))
+	}
+	if !rt.dirty[ctx-1] {
+		return
+	}
+	rt.stats.Syncs++
+	done := make(chan struct{})
+	rt.delegates[ctx-1].queue.Push(&Invocation{kind: kindSync, done: done})
+	<-done
+	rt.dirty[ctx-1] = false
+}
+
+// SyncSet blocks until all outstanding operations in the given serialization
+// set have completed. Under the LeastLoaded policy, a set that was never
+// delegated this epoch has no owner and nothing to wait for.
+func (rt *Runtime) SyncSet(set uint64) {
+	if rt.setOwner != nil {
+		if ctx, ok := rt.setOwner[set]; ok {
+			rt.SyncContext(ctx)
+		}
+		return
+	}
+	rt.SyncContext(rt.ContextFor(set))
+}
+
+// barrier waits for every delegate to drain its queue.
+func (rt *Runtime) barrier() {
+	if rt.cfg.Sequential {
+		return
+	}
+	rt.stats.Barriers++
+	if rt.rec != nil {
+		rt.recBarrier()
+		return
+	}
+	dones := make([]chan struct{}, 0, len(rt.delegates))
+	for i, d := range rt.delegates {
+		if !rt.dirty[i] {
+			continue
+		}
+		done := make(chan struct{})
+		d.queue.Push(&Invocation{kind: kindSync, done: done})
+		dones = append(dones, done)
+	}
+	for _, done := range dones {
+		<-done
+	}
+	for i := range rt.dirty {
+		rt.dirty[i] = false
+	}
+}
+
+// Sleep quiesces the delegate contexts during a long aggregation epoch
+// (paper: sleep()). Delegates with empty queues park automatically in this
+// implementation, so Sleep reduces to a barrier that guarantees they have
+// all drained and parked.
+func (rt *Runtime) Sleep() {
+	if rt.inIsolation {
+		panic("prometheus: Sleep during isolation epoch")
+	}
+	rt.barrier()
+}
+
+// RunParallel executes the given tasks on the delegate pool, round-robin,
+// and waits for completion. The runtime uses it for parallel reductions
+// (paper §2.2: N/2 combine operations per step run concurrently). ctx ids
+// are passed through so tasks can address per-context state. Must be called
+// during an aggregation epoch. In Sequential mode tasks run inline, in
+// order.
+func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
+	if rt.inIsolation {
+		panic("prometheus: RunParallel during isolation epoch")
+	}
+	if rt.cfg.Sequential || (len(rt.delegates) == 0 && rt.rec == nil) {
+		for _, t := range tasks {
+			t(ProgramContext)
+		}
+		return
+	}
+	if rt.rec != nil {
+		for i, t := range tasks {
+			d := rt.rec.delegates[i%len(rt.rec.delegates)]
+			rt.rec.enqueued.Add(1)
+			d.lanes[ProgramContext].Push(&Invocation{kind: kindMethod, fn: func(ctx int) { t(ctx) }})
+			d.signal()
+		}
+		rt.recBarrier()
+		return
+	}
+	for i, t := range tasks {
+		d := rt.delegates[i%len(rt.delegates)]
+		rt.dirty[d.id-1] = true
+		d.queue.Push(&Invocation{kind: kindMethod, fn: t})
+	}
+	rt.barrier()
+}
+
+// EnterReduction switches phase accounting to reduction time; the matching
+// ExitReduction returns to aggregation. Used by the reducible framework so
+// Figure 5a can separate reduction cost.
+func (rt *Runtime) EnterReduction() { rt.clock.switchTo(PhaseReduction, &rt.stats) }
+
+// ExitReduction ends a reduction accounting span.
+func (rt *Runtime) ExitReduction() { rt.clock.switchTo(PhaseAggregation, &rt.stats) }
+
+// Stats returns a snapshot of the runtime counters with the current phase's
+// elapsed time folded in.
+func (rt *Runtime) Stats() Stats {
+	st := rt.stats
+	clk := rt.clock
+	clk.switchTo(clk.phase, &st) // charge the open span without mutating rt
+	return st
+}
+
+// Terminate shuts the runtime down (paper: terminate()). It sends
+// termination objects to all delegates, waits for them to finish outstanding
+// work, and reclaims the goroutines. The runtime is unusable afterwards.
+func (rt *Runtime) Terminate() {
+	if rt.terminated {
+		return
+	}
+	if rt.inIsolation {
+		rt.EndIsolation()
+	}
+	rt.terminated = true
+	if rt.rec != nil {
+		rt.recTerminate()
+		rt.wg.Wait()
+		rt.clock.switchTo(PhaseAggregation, &rt.stats)
+		return
+	}
+	for _, d := range rt.delegates {
+		done := make(chan struct{})
+		d.queue.Push(&Invocation{kind: kindTerminate, done: done})
+		<-done
+		d.queue.Close()
+	}
+	rt.wg.Wait()
+	rt.clock.switchTo(PhaseAggregation, &rt.stats)
+}

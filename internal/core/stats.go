@@ -1,0 +1,74 @@
+package core
+
+import "time"
+
+// Phase identifies which epoch type the program context is currently in.
+// Reduction is accounted as its own phase even though it occurs inside an
+// aggregation epoch, matching the breakdown of the paper's Figure 5a.
+type Phase int
+
+const (
+	PhaseAggregation Phase = iota
+	PhaseIsolation
+	PhaseReduction
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseAggregation:
+		return "aggregation"
+	case PhaseIsolation:
+		return "isolation"
+	case PhaseReduction:
+		return "reduction"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats accumulates runtime counters and the per-phase wall-clock breakdown
+// used to regenerate Figure 5a. All fields are maintained by the program
+// context; delegated code never touches them.
+type Stats struct {
+	Delegations uint64 // operations sent to delegate contexts
+	InlineExecs uint64 // operations executed inline in the program context
+	Syncs       uint64 // ownership reclaims (synchronization objects)
+	Barriers    uint64 // full-runtime barriers (EndIsolation, Sleep)
+	Epochs      uint64 // isolation epochs begun
+
+	Aggregation time.Duration
+	Isolation   time.Duration
+	Reduction   time.Duration
+}
+
+// Total returns the wall-clock total across the three phases.
+func (s Stats) Total() time.Duration {
+	return s.Aggregation + s.Isolation + s.Reduction
+}
+
+// phaseClock tracks the current phase and charges elapsed time to it on each
+// transition.
+type phaseClock struct {
+	phase Phase
+	start time.Time
+}
+
+func newPhaseClock() phaseClock {
+	return phaseClock{phase: PhaseAggregation, start: time.Now()}
+}
+
+// switchTo charges time elapsed in the current phase to st and enters p.
+func (c *phaseClock) switchTo(p Phase, st *Stats) {
+	now := time.Now()
+	d := now.Sub(c.start)
+	switch c.phase {
+	case PhaseAggregation:
+		st.Aggregation += d
+	case PhaseIsolation:
+		st.Isolation += d
+	case PhaseReduction:
+		st.Reduction += d
+	}
+	c.phase = p
+	c.start = now
+}

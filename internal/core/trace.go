@@ -1,0 +1,103 @@
+package core
+
+import "time"
+
+// Execution tracing. With Config.Trace enabled, the runtime records one
+// event per delegated-operation execution, per synchronization, and per
+// epoch transition into per-context buffers (single writer each, so the
+// hot path takes no locks). The trace package turns the merged event list
+// into utilization reports and timelines; it is the profiling story behind
+// the paper's §5 overhead discussion.
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+const (
+	TraceExec  TraceKind = iota // a delegated operation ran on Ctx
+	TraceSync                   // a synchronization object was served
+	TraceEpoch                  // isolation epoch [Start, End) on the program context
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceExec:
+		return "exec"
+	case TraceSync:
+		return "sync"
+	case TraceEpoch:
+		return "epoch"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one recorded event. Times are offsets from the runtime's
+// start, so events from different contexts share a clock.
+type TraceEvent struct {
+	Ctx        int
+	Kind       TraceKind
+	Set        uint64
+	Start, End time.Duration
+}
+
+// traceState holds the per-context buffers.
+type traceState struct {
+	origin time.Time
+	bufs   [][]TraceEvent // indexed by context id; single writer each
+}
+
+func newTraceState(contexts int) *traceState {
+	return &traceState{origin: time.Now(), bufs: make([][]TraceEvent, contexts)}
+}
+
+// record appends an event to ctx's buffer. Only the goroutine running ctx
+// may call it.
+func (ts *traceState) record(ctx int, kind TraceKind, set uint64, start, end time.Time) {
+	ts.bufs[ctx] = append(ts.bufs[ctx], TraceEvent{
+		Ctx:   ctx,
+		Kind:  kind,
+		Set:   set,
+		Start: start.Sub(ts.origin),
+		End:   end.Sub(ts.origin),
+	})
+}
+
+// traceExec wraps fn with exec-event recording when tracing is on.
+func (rt *Runtime) traceExec(set uint64, fn func(ctx int)) func(ctx int) {
+	ts := rt.traceSt
+	if ts == nil {
+		return fn
+	}
+	return func(ctx int) {
+		start := time.Now()
+		fn(ctx)
+		ts.record(ctx, TraceExec, set, start, time.Now())
+	}
+}
+
+// TraceEvents returns the merged event list. Must be called from the
+// program context with no isolation epoch open (the EndIsolation barrier
+// orders delegate buffer writes before this read). Returns nil when
+// tracing is disabled.
+func (rt *Runtime) TraceEvents() []TraceEvent {
+	if rt.traceSt == nil {
+		return nil
+	}
+	if rt.inIsolation {
+		panic("prometheus: TraceEvents during an isolation epoch")
+	}
+	rt.barrier()
+	var all []TraceEvent
+	for _, buf := range rt.traceSt.bufs {
+		all = append(all, buf...)
+	}
+	return all
+}
+
+// TraceOrigin returns the trace clock's zero point.
+func (rt *Runtime) TraceOrigin() time.Time {
+	if rt.traceSt == nil {
+		return time.Time{}
+	}
+	return rt.traceSt.origin
+}

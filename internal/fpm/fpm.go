@@ -1,0 +1,328 @@
+// Package fpm implements frequent-itemset mining for the freqmine
+// benchmark: an FP-growth miner (Han et al.) structured, like PARSEC's
+// freqmine, so that the mining of each frequent item's conditional pattern
+// base is an independent task — the unit the parallel drivers distribute.
+//
+// A brute-force Apriori-style counter is included for use as a test oracle
+// on small inputs.
+package fpm
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// ItemSet is a sorted list of item ids with its support count.
+type ItemSet struct {
+	Items   []int
+	Support int
+}
+
+// Key renders the itemset as a comparable string (items are sorted).
+func (s ItemSet) Key() string {
+	b := make([]byte, 0, len(s.Items)*3)
+	for _, it := range s.Items {
+		b = append(b, byte(it>>16), byte(it>>8), byte(it))
+	}
+	return string(b)
+}
+
+// node is an FP-tree node. Children are kept in a slice sorted by item id:
+// binary search is as fast as a map for the small fan-outs FP-trees have,
+// and the slice allocates far less, which matters because conditional-tree
+// construction during mining is allocation-bound.
+type node struct {
+	item     int
+	count    int
+	parent   *node
+	children []*node // sorted by item
+	next     *node   // header-table chain
+}
+
+// child finds the child with the given item id, or nil.
+func (n *node) child(item int) *node {
+	lo, hi := 0, len(n.children)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.children[mid].item < item {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.children) && n.children[lo].item == item {
+		return n.children[lo]
+	}
+	return nil
+}
+
+// addChild inserts c preserving the sort order.
+func (n *node) addChild(c *node) {
+	lo, hi := 0, len(n.children)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.children[mid].item < c.item {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	n.children = append(n.children, nil)
+	copy(n.children[lo+1:], n.children[lo:])
+	n.children[lo] = c
+}
+
+// Tree is an FP-tree with its header table.
+type Tree struct {
+	root   *node
+	heads  map[int]*node // item -> first node in chain
+	counts map[int]int   // item -> total support in this tree
+	minSup int
+	// order ranks items by global frequency (descending); transactions are
+	// inserted in this order so frequent items share prefixes.
+	order map[int]int
+}
+
+// Build constructs the FP-tree over the database with the given absolute
+// minimum support.
+func Build(txns []workload.Transaction, minSup int) *Tree {
+	counts := map[int]int{}
+	for _, t := range txns {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	frequent := make([]int, 0, len(counts))
+	for it, c := range counts {
+		if c >= minSup {
+			frequent = append(frequent, it)
+		}
+	}
+	// Rank by descending frequency, ties by item id for determinism.
+	sort.Slice(frequent, func(i, j int) bool {
+		a, b := frequent[i], frequent[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
+		}
+		return a < b
+	})
+	order := make(map[int]int, len(frequent))
+	for rank, it := range frequent {
+		order[it] = rank
+	}
+	t := &Tree{
+		root:   &node{},
+		heads:  map[int]*node{},
+		counts: map[int]int{},
+		minSup: minSup,
+		order:  order,
+	}
+	// Insert rows as rank sequences: sorting small int ranks and mapping
+	// back through the byRank table is markedly cheaper than a comparator
+	// closure over the order map, and this loop is the sequential fraction
+	// every parallel driver pays (Amdahl).
+	byRank := frequent // frequent[rank] = item
+	ranks := make([]int, 0, 32)
+	row := make([]int, 0, 32)
+	for _, txn := range txns {
+		ranks = ranks[:0]
+		for _, it := range txn {
+			if r, ok := order[it]; ok {
+				ranks = append(ranks, r)
+			}
+		}
+		sort.Ints(ranks)
+		row = row[:0]
+		for _, r := range ranks {
+			row = append(row, byRank[r])
+		}
+		t.insert(row, 1)
+	}
+	return t
+}
+
+func (t *Tree) insert(items []int, count int) {
+	cur := t.root
+	for _, it := range items {
+		child := cur.child(it)
+		if child == nil {
+			child = &node{item: it, parent: cur, next: t.heads[it]}
+			t.heads[it] = child
+			cur.addChild(child)
+		}
+		child.count += count
+		cur = child
+	}
+	for _, it := range items {
+		t.counts[it] += count
+	}
+}
+
+// FrequentItems returns the frequent items of this tree in mining order
+// (least-frequent first, the order FP-growth peels items). This is the task
+// list the parallel drivers distribute.
+func (t *Tree) FrequentItems() []int {
+	items := make([]int, 0, len(t.counts))
+	for it, c := range t.counts {
+		if c >= t.minSup {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return t.order[items[i]] > t.order[items[j]] })
+	return items
+}
+
+// MineItem mines every frequent itemset that ends (in frequency order) at
+// the given item: the item's conditional pattern base is extracted and mined
+// recursively. MineItem calls on distinct items touch disjoint conditional
+// trees and may run concurrently as long as the base tree is read-only.
+func (t *Tree) MineItem(item int) []ItemSet {
+	var out []ItemSet
+	t.mineItemInto(item, []int{}, &out)
+	return out
+}
+
+func (t *Tree) mineItemInto(item int, suffix []int, out *[]ItemSet) {
+	support := t.counts[item]
+	if support < t.minSup {
+		return
+	}
+	itemset := append(append([]int{}, suffix...), item)
+	sort.Ints(itemset)
+	*out = append(*out, ItemSet{Items: itemset, Support: support})
+
+	// Conditional pattern base: prefix paths of every node of this item.
+	var paths []condPath
+	for n := t.heads[item]; n != nil; n = n.next {
+		var items []int
+		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+			items = append(items, p.item)
+		}
+		if len(items) > 0 {
+			paths = append(paths, condPath{items: items, count: n.count})
+		}
+	}
+	if len(paths) == 0 {
+		return
+	}
+	cond := buildConditional(paths, t.minSup)
+	for _, sub := range cond.FrequentItems() {
+		cond.mineItemInto(sub, itemset, out)
+	}
+}
+
+type condPath struct {
+	items []int
+	count int
+}
+
+// buildConditional constructs the conditional FP-tree of a pattern base.
+func buildConditional(paths []condPath, minSup int) *Tree {
+	counts := map[int]int{}
+	for _, p := range paths {
+		for _, it := range p.items {
+			counts[it] += p.count
+		}
+	}
+	frequent := make([]int, 0, len(counts))
+	for it, c := range counts {
+		if c >= minSup {
+			frequent = append(frequent, it)
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		a, b := frequent[i], frequent[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
+		}
+		return a < b
+	})
+	order := make(map[int]int, len(frequent))
+	for rank, it := range frequent {
+		order[it] = rank
+	}
+	t := &Tree{
+		root:   &node{},
+		heads:  map[int]*node{},
+		counts: map[int]int{},
+		minSup: minSup,
+		order:  order,
+	}
+	row := make([]int, 0, 16)
+	for _, p := range paths {
+		row = row[:0]
+		for _, it := range p.items {
+			if _, ok := order[it]; ok {
+				row = append(row, it)
+			}
+		}
+		sort.Slice(row, func(i, j int) bool { return order[row[i]] < order[row[j]] })
+		t.insert(row, p.count)
+	}
+	return t
+}
+
+// MineAll mines the complete set of frequent itemsets sequentially.
+func (t *Tree) MineAll() []ItemSet {
+	var out []ItemSet
+	for _, it := range t.FrequentItems() {
+		out = append(out, t.MineItem(it)...)
+	}
+	return out
+}
+
+// BruteForce enumerates frequent itemsets by counting all subsets up to
+// maxLen over the database — exponential, for test oracles only.
+func BruteForce(txns []workload.Transaction, minSup, maxLen int) []ItemSet {
+	counts := map[string]int{}
+	sets := map[string][]int{}
+	var rec func(txn []int, start int, cur []int)
+	rec = func(txn []int, start int, cur []int) {
+		if len(cur) > 0 {
+			is := ItemSet{Items: append([]int{}, cur...)}
+			k := is.Key()
+			counts[k]++
+			sets[k] = is.Items
+		}
+		if len(cur) == maxLen {
+			return
+		}
+		for i := start; i < len(txn); i++ {
+			rec(txn, i+1, append(cur, txn[i]))
+		}
+	}
+	for _, t := range txns {
+		row := append([]int{}, t...)
+		sort.Ints(row)
+		rec(row, 0, nil)
+	}
+	var out []ItemSet
+	for k, c := range counts {
+		if c >= minSup {
+			out = append(out, ItemSet{Items: sets[k], Support: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// LessItems compares two sorted item lists lexicographically without
+// allocating (ItemSet.Key would build two strings per comparison).
+func LessItems(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// SortItemSets orders itemsets canonically for comparison.
+func SortItemSets(s []ItemSet) {
+	sort.Slice(s, func(i, j int) bool { return LessItems(s[i].Items, s[j].Items) })
+}

@@ -1,0 +1,163 @@
+package fpm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func smallDB() []workload.Transaction {
+	// Classic FP-growth textbook example.
+	return []workload.Transaction{
+		{1, 2, 5},
+		{2, 4},
+		{2, 3},
+		{1, 2, 4},
+		{1, 3},
+		{2, 3},
+		{1, 3},
+		{1, 2, 3, 5},
+		{1, 2, 3},
+	}
+}
+
+func TestMineAllMatchesBruteForceTextbook(t *testing.T) {
+	txns := smallDB()
+	got := Build(txns, 2).MineAll()
+	want := BruteForce(txns, 2, 5)
+	SortItemSets(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FP-growth = %v\nbrute     = %v", got, want)
+	}
+}
+
+func TestMineAllMatchesBruteForceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		var txns []workload.Transaction
+		n := 20 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			var txn workload.Transaction
+			seen := map[int]bool{}
+			for k := 0; k < 1+r.Intn(6); k++ {
+				it := r.Intn(12)
+				if !seen[it] {
+					seen[it] = true
+					txn = append(txn, it)
+				}
+			}
+			txns = append(txns, txn)
+		}
+		minSup := 2 + r.Intn(4)
+		got := Build(txns, minSup).MineAll()
+		want := BruteForce(txns, minSup, 12)
+		SortItemSets(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (minSup %d):\nFP-growth = %v\nbrute     = %v", trial, minSup, got, want)
+		}
+	}
+}
+
+func TestPerItemMiningPartitionsResults(t *testing.T) {
+	// MineAll == union of MineItem over FrequentItems, disjointly: this is
+	// the independence property the parallel drivers rely on.
+	txns := smallDB()
+	tree := Build(txns, 2)
+	all := tree.MineAll()
+	seen := map[string]int{}
+	for _, is := range all {
+		seen[is.Key()]++
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("itemset %x produced by %d items", k, n)
+		}
+	}
+	var union []ItemSet
+	for _, it := range tree.FrequentItems() {
+		union = append(union, tree.MineItem(it)...)
+	}
+	SortItemSets(union)
+	SortItemSets(all)
+	if !reflect.DeepEqual(union, all) {
+		t.Fatal("per-item union differs from MineAll")
+	}
+}
+
+func TestFrequentItemsOrderAndThreshold(t *testing.T) {
+	tree := Build(smallDB(), 2)
+	items := tree.FrequentItems()
+	if len(items) == 0 {
+		t.Fatal("no frequent items")
+	}
+	for _, it := range items {
+		if tree.counts[it] < 2 {
+			t.Fatalf("item %d below support", it)
+		}
+	}
+	// Mining order: least frequent first.
+	for i := 1; i < len(items); i++ {
+		if tree.order[items[i-1]] < tree.order[items[i]] {
+			t.Fatal("FrequentItems not in reverse frequency order")
+		}
+	}
+	// Item 6 never appears; item 4 appears twice; item 5 twice.
+	counts := map[int]int{}
+	for _, txn := range smallDB() {
+		for _, it := range txn {
+			counts[it]++
+		}
+	}
+	for _, it := range items {
+		if counts[it] < 2 {
+			t.Fatalf("infrequent item %d reported", it)
+		}
+	}
+}
+
+func TestHighSupportYieldsNothing(t *testing.T) {
+	if got := Build(smallDB(), 100).MineAll(); len(got) != 0 {
+		t.Fatalf("minSup 100 mined %v", got)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	if got := Build(nil, 1).MineAll(); len(got) != 0 {
+		t.Fatalf("empty DB mined %v", got)
+	}
+}
+
+func TestGeneratedWorkloadMines(t *testing.T) {
+	cfg := workload.TxnSize(workload.Small)
+	cfg.Count = 3000 // keep the test fast
+	txns := workload.GenerateTransactions(cfg)
+	minSup := int(cfg.MinSupport * float64(len(txns)))
+	tree := Build(txns, minSup)
+	sets := tree.MineAll()
+	if len(sets) == 0 {
+		t.Fatal("generator produced no frequent itemsets")
+	}
+	multi := 0
+	for _, s := range sets {
+		if s.Support < minSup {
+			t.Fatalf("itemset %v below support", s)
+		}
+		if len(s.Items) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-item frequent itemsets; embedded patterns not mined")
+	}
+}
+
+func TestItemSetKeyCanonical(t *testing.T) {
+	a := ItemSet{Items: []int{1, 2, 3}}
+	b := ItemSet{Items: []int{1, 2, 3}}
+	c := ItemSet{Items: []int{1, 2, 4}}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Fatal("Key not canonical")
+	}
+}

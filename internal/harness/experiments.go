@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	prometheus "repro"
+	"repro/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Size workload.SizeClass
+	Reps int // timing repetitions, best-of
+	Apps []string
+}
+
+// Table2 prints the benchmark inventory (paper Table 2), instantiating each
+// input so the printed parameters are the real generated ones.
+func Table2(w io.Writer, opts Options) error {
+	apps, err := FilterApps(opts.Apps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table 2: benchmarks (size class %s)\n", opts.Size)
+	fmt.Fprintf(w, "%-14s %-13s %-20s %s\n", "Program", "Source", "Description", "Input")
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		fmt.Fprintf(w, "%-14s %-13s %-20s %s\n", app.Name, app.Source, app.Desc, inst.Desc)
+	}
+	return nil
+}
+
+// Table3 prints the emulated machine configurations.
+func Table3(w io.Writer) {
+	fmt.Fprintf(w, "Table 3: machine configurations (emulated as context counts on this host, GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-14s %-9s %s\n", "Config", "Contexts", "Paper hardware")
+	for _, m := range Machines {
+		fmt.Fprintf(w, "%-14s %-9d %s\n", m.Name, m.Contexts, m.Paper)
+	}
+}
+
+// Fig4 reproduces Figure 4: speedup of the conventional-parallel (CP) and
+// serialization-sets (SS) implementations over the sequential program, for
+// every benchmark on every machine configuration, with harmonic means.
+func Fig4(w io.Writer, opts Options) error {
+	apps, err := FilterApps(opts.Apps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 4: speedup over sequential (size %s, best of %d)\n", opts.Size, opts.Reps)
+	Table3(w)
+	fmt.Fprintf(w, "\n%-18s", "config")
+	for _, app := range apps {
+		fmt.Fprintf(w, "%14s", app.Name)
+	}
+	fmt.Fprintf(w, "%10s\n", "H_MEAN")
+
+	type row struct {
+		label    string
+		speedups []float64
+	}
+	var rows []row
+	for _, m := range Machines {
+		rows = append(rows,
+			row{label: m.Name + " CP"},
+			row{label: m.Name + " SS"},
+		)
+	}
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		seq := TimeBest(opts.Reps, inst.Seq)
+		for mi, m := range Machines {
+			workers, delegates := m.Contexts, m.Contexts-1
+			cp := TimeBest(opts.Reps, func() { inst.CP(workers) })
+			ss := TimeBest(opts.Reps, func() { inst.SS(delegates) })
+			rows[2*mi].speedups = append(rows[2*mi].speedups, Speedup(seq, cp))
+			rows[2*mi+1].speedups = append(rows[2*mi+1].speedups, Speedup(seq, ss))
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s", r.label)
+		for _, s := range r.speedups {
+			fmt.Fprintf(w, "%14.1f", s)
+		}
+		fmt.Fprintf(w, "%10.1f\n", HarmonicMean(r.speedups))
+	}
+	return nil
+}
+
+// Fig5a reproduces Figure 5a: the fraction of execution time each SS
+// benchmark spends in aggregation, isolation, and reduction epochs, on the
+// 16-context configuration.
+func Fig5a(w io.Writer, opts Options) error {
+	apps, err := FilterApps(opts.Apps)
+	if err != nil {
+		return err
+	}
+	const contexts = 16
+	fmt.Fprintf(w, "Figure 5a: execution time breakdown (size %s, %d contexts)\n", opts.Size, contexts)
+	fmt.Fprintf(w, "%-14s %12s %12s %12s\n", "program", "aggregation", "isolation", "reduction")
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		st := inst.SS(contexts - 1)
+		total := st.Total()
+		if total <= 0 {
+			total = 1
+		}
+		pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(total) }
+		fmt.Fprintf(w, "%-14s %11.1f%% %11.1f%% %11.1f%%\n",
+			app.Name, pct(st.Aggregation), pct(st.Isolation), pct(st.Reduction))
+	}
+	return nil
+}
+
+// Fig5b reproduces Figure 5b: SS speedup across input size classes on the
+// 16-context configuration.
+func Fig5b(w io.Writer, opts Options) error {
+	apps, err := FilterApps(opts.Apps)
+	if err != nil {
+		return err
+	}
+	const contexts = 16
+	fmt.Fprintf(w, "Figure 5b: input scaling, SS speedup (%d contexts, best of %d)\n", contexts, opts.Reps)
+	fmt.Fprintf(w, "%-14s %8s %8s %8s\n", "program", "small", "medium", "large")
+	means := map[workload.SizeClass][]float64{}
+	for _, app := range apps {
+		fmt.Fprintf(w, "%-14s", app.Name)
+		for _, size := range workload.SizeClasses {
+			inst := app.Load(size)
+			seq := TimeBest(opts.Reps, inst.Seq)
+			ss := TimeBest(opts.Reps, func() { inst.SS(contexts - 1) })
+			s := Speedup(seq, ss)
+			means[size] = append(means[size], s)
+			fmt.Fprintf(w, "%8.1f", s)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s", "H_MEAN")
+	for _, size := range workload.SizeClasses {
+		fmt.Fprintf(w, "%8.1f", HarmonicMean(means[size]))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// Fig6 reproduces Figure 6: SS speedup as the number of delegate threads
+// grows from 1 to maxDelegates.
+func Fig6(w io.Writer, opts Options, maxDelegates int) error {
+	apps, err := FilterApps(opts.Apps)
+	if err != nil {
+		return err
+	}
+	if maxDelegates < 1 {
+		maxDelegates = 15
+	}
+	fmt.Fprintf(w, "Figure 6: SS scaling with delegate threads (size %s, best of %d)\n", opts.Size, opts.Reps)
+	fmt.Fprintf(w, "%-14s", "program")
+	for d := 1; d <= maxDelegates; d++ {
+		fmt.Fprintf(w, "%7d", d)
+	}
+	fmt.Fprintln(w)
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		seq := TimeBest(opts.Reps, inst.Seq)
+		fmt.Fprintf(w, "%-14s", app.Name)
+		for d := 1; d <= maxDelegates; d++ {
+			ss := TimeBest(opts.Reps, func() { inst.SS(d) })
+			fmt.Fprintf(w, "%7.1f", Speedup(seq, ss))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Ablation runs the design-choice studies DESIGN.md calls out:
+//
+//   - scheduling policy: static modulus (paper) vs least-loaded (the
+//     paper's dynamic-scheduling future work) on a skew-prone benchmark;
+//   - assignment ratio: program share 0 vs 1 vs 2;
+//   - queue capacity: tiny vs default vs large communication queues;
+//   - kmeans formulation: reduction (proposed fix) vs naive (measured in
+//     the paper).
+func Ablation(w io.Writer, opts Options) error {
+	apps, err := FilterApps(opts.Apps)
+	if err != nil {
+		return err
+	}
+	const delegates = 15
+	fmt.Fprintf(w, "Ablations (size %s, %d delegates, best of %d)\n\n", opts.Size, delegates, opts.Reps)
+
+	fmt.Fprintf(w, "A1. delegate assignment policy (speedup over sequential)\n")
+	fmt.Fprintf(w, "%-14s %12s %12s\n", "program", "static-mod", "least-loaded")
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		if inst.SSOpt == nil {
+			continue
+		}
+		seq := TimeBest(opts.Reps, inst.Seq)
+		st := TimeBest(opts.Reps, func() { inst.SSOpt(delegates, prometheus.WithPolicy(prometheus.StaticMod)) })
+		ll := TimeBest(opts.Reps, func() { inst.SSOpt(delegates, prometheus.WithPolicy(prometheus.LeastLoaded)) })
+		fmt.Fprintf(w, "%-14s %12.1f %12.1f\n", app.Name, Speedup(seq, st), Speedup(seq, ll))
+	}
+
+	fmt.Fprintf(w, "\nA2. assignment ratio: virtual delegates on the program context\n")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s\n", "program", "share=0", "share=1", "share=2")
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		if inst.SSOpt == nil {
+			continue
+		}
+		seq := TimeBest(opts.Reps, inst.Seq)
+		fmt.Fprintf(w, "%-14s", app.Name)
+		for _, share := range []int{0, 1, 2} {
+			share := share
+			d := TimeBest(opts.Reps, func() { inst.SSOpt(delegates, prometheus.WithProgramShare(share)) })
+			fmt.Fprintf(w, "%10.1f", Speedup(seq, d))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\nA3. communication queue capacity\n")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s\n", "program", "cap=8", "cap=1024", "cap=16384")
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		if inst.SSOpt == nil {
+			continue
+		}
+		seq := TimeBest(opts.Reps, inst.Seq)
+		fmt.Fprintf(w, "%-14s", app.Name)
+		for _, cap := range []int{8, 1024, 16384} {
+			cap := cap
+			d := TimeBest(opts.Reps, func() { inst.SSOpt(delegates, prometheus.WithQueueCapacity(cap)) })
+			fmt.Fprintf(w, "%10.1f", Speedup(seq, d))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\nA4. kmeans formulation (paper §5.1): reduction fix vs naive two-pass\n")
+	if app, ok := AppByName("kmeans"); ok {
+		inst := app.Load(opts.Size)
+		seq := TimeBest(opts.Reps, inst.Seq)
+		red := TimeBest(opts.Reps, func() { inst.SS(delegates) })
+		naive := TimeBest(opts.Reps, func() { inst.Variants["naive"](delegates) })
+		fmt.Fprintf(w, "%-14s %12s %12s\n", "", "reduction", "naive")
+		fmt.Fprintf(w, "%-14s %12.1f %12.1f\n", "kmeans", Speedup(seq, red), Speedup(seq, naive))
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Smoke tests: each experiment runs end-to-end on one small benchmark and
+// produces a plausibly shaped table. These are integration tests of the
+// registry + runner + formatter path that ssbench and bench_test.go share.
+
+func smallOpts(apps ...string) Options {
+	return Options{Size: workload.Small, Reps: 1, Apps: apps}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	var sb strings.Builder
+	if err := Fig4(&sb, smallOpts("histogram")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"barcelona-4 CP", "barcelona-16 SS", "niagara-32 CP", "H_MEAN", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	var sb strings.Builder
+	if err := Fig5a(&sb, smallOpts("histogram")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "aggregation") || !strings.Contains(out, "%") {
+		t.Fatalf("fig5a output:\n%s", out)
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	var sb strings.Builder
+	if err := Fig6(&sb, smallOpts("histogram"), 2); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "histogram") || !strings.Contains(out, "2") {
+		t.Fatalf("fig6 output:\n%s", out)
+	}
+}
+
+func TestExperimentsRejectUnknownApp(t *testing.T) {
+	var sb strings.Builder
+	for name, run := range map[string]func() error{
+		"table2": func() error { return Table2(&sb, smallOpts("nope")) },
+		"fig4":   func() error { return Fig4(&sb, smallOpts("nope")) },
+		"fig5a":  func() error { return Fig5a(&sb, smallOpts("nope")) },
+		"fig5b":  func() error { return Fig5b(&sb, smallOpts("nope")) },
+		"fig6":   func() error { return Fig6(&sb, smallOpts("nope"), 2) },
+	} {
+		if err := run(); err == nil {
+			t.Errorf("%s accepted unknown app", name)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestSpeedupAndHarmonicMean(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Errorf("Speedup = %f, want 5", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Errorf("Speedup by zero = %f, want 0", got)
+	}
+	got := HarmonicMean([]float64{2, 4})
+	if math.Abs(got-8.0/3.0) > 1e-12 {
+		t.Errorf("HarmonicMean(2,4) = %f, want 8/3", got)
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("HarmonicMean degenerate cases wrong")
+	}
+}
+
+func TestTimeBest(t *testing.T) {
+	n := 0
+	TimeBest(3, func() { n++ })
+	if n != 3 {
+		t.Errorf("TimeBest ran %d times, want 3", n)
+	}
+	TimeBest(0, func() { n++ })
+	if n != 4 {
+		t.Errorf("TimeBest(0) should run once")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// All eight Table 2 benchmarks must be registered.
+	want := []string{"barneshut", "blackscholes", "dedup", "freqmine",
+		"histogram", "kmeans", "reverse_index", "word_count"}
+	names := AppNames()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("registry[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestFilterApps(t *testing.T) {
+	all, err := FilterApps(nil)
+	if err != nil || len(all) != len(Apps) {
+		t.Fatalf("empty filter should return all apps")
+	}
+	two, err := FilterApps([]string{"dedup", "kmeans"})
+	if err != nil || len(two) != 2 || two[0].Name != "dedup" {
+		t.Fatalf("filter = %v, %v", two, err)
+	}
+	if _, err := FilterApps([]string{"nope"}); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}
+
+func TestMachinesMirrorTable3(t *testing.T) {
+	wantContexts := map[string]int{
+		"barcelona-4": 4, "ultrasparc-8": 8, "barcelona-16": 16, "niagara-32": 32,
+	}
+	for name, contexts := range wantContexts {
+		m, ok := MachineByName(name)
+		if !ok || m.Contexts != contexts {
+			t.Errorf("machine %s = %+v, %v", name, m, ok)
+		}
+	}
+	if _, ok := MachineByName("cray-1"); ok {
+		t.Error("unknown machine should not resolve")
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := Table2(&sb, Options{Size: workload.Small, Apps: []string{"histogram"}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "histogram") || !strings.Contains(out, "Phoenix") {
+		t.Fatalf("Table2 output:\n%s", out)
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	var sb strings.Builder
+	Table3(&sb)
+	for _, m := range Machines {
+		if !strings.Contains(sb.String(), m.Name) {
+			t.Errorf("Table3 missing %s", m.Name)
+		}
+	}
+}
+
+// TestInstanceRunnersWork loads the fastest app at size S and exercises all
+// runner hooks once — an integration smoke of the registry plumbing.
+func TestInstanceRunnersWork(t *testing.T) {
+	app, ok := AppByName("histogram")
+	if !ok {
+		t.Fatal("histogram not registered")
+	}
+	inst := app.Load(workload.Small)
+	inst.Seq()
+	inst.CP(2)
+	if st := inst.SS(2); st.Epochs == 0 {
+		t.Error("SS run recorded no epochs")
+	}
+	if inst.SSOpt == nil {
+		t.Fatal("histogram has no SSOpt hook")
+	}
+	if st := inst.SSOpt(2, nil...); st.Epochs == 0 {
+		t.Error("SSOpt run recorded no epochs")
+	}
+}
+
+func TestKmeansVariantRegistered(t *testing.T) {
+	app, _ := AppByName("kmeans")
+	inst := app.Load(workload.Small)
+	naive, ok := inst.Variants["naive"]
+	if !ok {
+		t.Fatal("kmeans naive variant missing")
+	}
+	if st := naive(2); st.Epochs == 0 {
+		t.Error("naive variant recorded no epochs")
+	}
+}

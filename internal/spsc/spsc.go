@@ -1,0 +1,226 @@
+// Package spsc implements a FastForward-style lock-free single-producer
+// single-consumer queue (Giacomoni et al., PPoPP 2008), the communication
+// substrate the Prometheus runtime uses between the program context and each
+// delegate context.
+//
+// The FastForward design avoids shared head/tail indices: the producer and
+// consumer each keep a private cursor, and the full/empty conditions are
+// detected from the slot contents themselves (a slot is empty iff it holds
+// nil). This keeps the producer's and consumer's working sets on disjoint
+// cache lines in steady state. The queue carries pointers of a single type T.
+//
+// Blocking behaviour is hybrid: callers spin for a bounded number of
+// iterations (the analogue of the paper's PAUSE-instruction spin loop) and
+// then park on a channel so an idle delegate does not burn a hardware
+// context. Parking and waking are coordinated with a small state machine in
+// sleepState.
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLineSize is the assumed size of a CPU cache line, used to pad the
+// producer- and consumer-owned fields apart so they never share a line.
+const cacheLineSize = 64
+
+// DefaultCapacity is the queue capacity used when NewQueue is given a
+// non-positive capacity. FastForward queues want enough buffering to absorb
+// bursts of operations mapped to the same serialization set (paper §4).
+const DefaultCapacity = 1024
+
+// spinBeforePark bounds the busy-wait loop before a blocked caller parks on
+// a channel. The value trades latency (higher = faster handoff under load)
+// against wasted CPU when the peer is slow.
+const spinBeforePark = 256
+
+type pad [cacheLineSize]byte
+
+// sleepState values for the parking protocol.
+const (
+	awake    int32 = iota // peer is running (or about to re-check)
+	sleeping              // peer is parked on its wake channel
+)
+
+// Queue is a bounded lock-free SPSC queue of *T. The zero value is not
+// usable; construct with NewQueue. Exactly one goroutine may call the
+// producer methods (Push, TryPush, Close) and exactly one may call the
+// consumer methods (Pop, TryPop).
+type Queue[T any] struct {
+	slots []atomic.Pointer[T]
+	mask  uint64
+
+	_    pad
+	head uint64 // consumer cursor: next slot to read (consumer-private)
+	// consumerSleep is set by the consumer before parking on wakeConsumer.
+	consumerSleep atomic.Int32
+	wakeConsumer  chan struct{}
+
+	_    pad
+	tail uint64 // producer cursor: next slot to write (producer-private)
+	// producerSleep is set by the producer before parking on wakeProducer.
+	producerSleep atomic.Int32
+	wakeProducer  chan struct{}
+
+	_      pad
+	closed atomic.Bool
+}
+
+// NewQueue returns a queue with capacity rounded up to a power of two.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Queue[T]{
+		slots:        make([]atomic.Pointer[T], c),
+		mask:         uint64(c - 1),
+		wakeConsumer: make(chan struct{}, 1),
+		wakeProducer: make(chan struct{}, 1),
+	}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.slots) }
+
+// TryPush inserts v without blocking. It reports false if the queue is full.
+// v must be non-nil: nil is the internal empty-slot marker.
+func (q *Queue[T]) TryPush(v *T) bool {
+	if v == nil {
+		panic("spsc: TryPush(nil)")
+	}
+	slot := &q.slots[q.tail&q.mask]
+	if slot.Load() != nil {
+		return false // full: consumer has not drained this slot yet
+	}
+	slot.Store(v)
+	q.tail++
+	q.signalConsumer()
+	return true
+}
+
+// Push inserts v, blocking while the queue is full. Push panics if the queue
+// has been closed (the runtime never pushes after termination).
+func (q *Queue[T]) Push(v *T) {
+	for spin := 0; ; {
+		if q.TryPush(v) {
+			return
+		}
+		if q.closed.Load() {
+			panic("spsc: Push on closed queue")
+		}
+		spin++
+		if spin < spinBeforePark {
+			if spin%16 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Park until the consumer frees a slot. Re-check after arming the
+		// sleep flag to avoid a lost wakeup.
+		q.producerSleep.Store(sleeping)
+		if q.slots[q.tail&q.mask].Load() == nil || q.closed.Load() {
+			q.producerSleep.Store(awake)
+			continue
+		}
+		<-q.wakeProducer
+		q.producerSleep.Store(awake)
+		spin = 0
+	}
+}
+
+// TryPop removes and returns the next value without blocking. It returns
+// nil if the queue is empty.
+func (q *Queue[T]) TryPop() *T {
+	slot := &q.slots[q.head&q.mask]
+	v := slot.Load()
+	if v == nil {
+		return nil
+	}
+	slot.Store(nil)
+	q.head++
+	q.signalProducer()
+	return v
+}
+
+// Pop removes and returns the next value, blocking while the queue is empty.
+// It returns nil only after Close has been called and the queue is drained.
+func (q *Queue[T]) Pop() *T {
+	for spin := 0; ; {
+		if v := q.TryPop(); v != nil {
+			return v
+		}
+		if q.closed.Load() {
+			// Check once more: Close may have raced with a final Push.
+			if v := q.TryPop(); v != nil {
+				return v
+			}
+			return nil
+		}
+		spin++
+		if spin < spinBeforePark {
+			if spin%16 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		q.consumerSleep.Store(sleeping)
+		if q.slots[q.head&q.mask].Load() != nil || q.closed.Load() {
+			q.consumerSleep.Store(awake)
+			continue
+		}
+		<-q.wakeConsumer
+		q.consumerSleep.Store(awake)
+		spin = 0
+	}
+}
+
+// Close marks the queue closed. The consumer drains remaining items and then
+// receives nil from Pop. Only the producer may call Close.
+func (q *Queue[T]) Close() {
+	q.closed.Store(true)
+	q.signalConsumer()
+	q.signalProducer()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed.Load() }
+
+// Empty reports whether the queue appears empty to the consumer.
+func (q *Queue[T]) Empty() bool {
+	return q.slots[q.head&q.mask].Load() == nil
+}
+
+// Len returns the approximate number of buffered items. Only exact when the
+// caller is the sole active party; used for load metrics and tests.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for i := range q.slots {
+		if q.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (q *Queue[T]) signalConsumer() {
+	if q.consumerSleep.Load() == sleeping {
+		select {
+		case q.wakeConsumer <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (q *Queue[T]) signalProducer() {
+	if q.producerSleep.Load() == sleeping {
+		select {
+		case q.wakeProducer <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package spsc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopSingle(t *testing.T) {
+	q := NewQueue[int](4)
+	v := 42
+	if !q.TryPush(&v) {
+		t.Fatal("TryPush failed on empty queue")
+	}
+	got := q.TryPop()
+	if got == nil || *got != 42 {
+		t.Fatalf("TryPop = %v, want 42", got)
+	}
+	if q.TryPop() != nil {
+		t.Fatal("TryPop on empty queue should return nil")
+	}
+}
+
+func TestCapacityRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultCapacity}, {-1, DefaultCapacity}, {1, 1}, {3, 4}, {4, 4}, {1000, 1024},
+	} {
+		if got := NewQueue[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("NewQueue(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFullQueueRejectsTryPush(t *testing.T) {
+	q := NewQueue[int](2)
+	a, b, c := 1, 2, 3
+	if !q.TryPush(&a) || !q.TryPush(&b) {
+		t.Fatal("queue of capacity 2 should accept 2 items")
+	}
+	if q.TryPush(&c) {
+		t.Fatal("full queue should reject TryPush")
+	}
+	if got := q.TryPop(); got == nil || *got != 1 {
+		t.Fatalf("FIFO violated: got %v, want 1", got)
+	}
+	if !q.TryPush(&c) {
+		t.Fatal("queue should accept after a pop")
+	}
+}
+
+func TestPushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TryPush(nil) should panic")
+		}
+	}()
+	NewQueue[int](2).TryPush(nil)
+}
+
+func TestWraparound(t *testing.T) {
+	q := NewQueue[int](4)
+	for round := 0; round < 100; round++ {
+		vals := []int{round * 3, round*3 + 1, round*3 + 2}
+		for i := range vals {
+			if !q.TryPush(&vals[i]) {
+				t.Fatalf("round %d: push %d failed", round, i)
+			}
+		}
+		for i := range vals {
+			got := q.TryPop()
+			if got == nil || *got != vals[i] {
+				t.Fatalf("round %d: pop %d = %v, want %d", round, i, got, vals[i])
+			}
+		}
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	q := NewQueue[int](8)
+	a, b := 1, 2
+	q.Push(&a)
+	q.Push(&b)
+	q.Close()
+	if got := q.Pop(); got == nil || *got != 1 {
+		t.Fatalf("Pop after close = %v, want 1", got)
+	}
+	if got := q.Pop(); got == nil || *got != 2 {
+		t.Fatalf("Pop after close = %v, want 2", got)
+	}
+	if got := q.Pop(); got != nil {
+		t.Fatalf("Pop on drained closed queue = %v, want nil", got)
+	}
+}
+
+func TestLenAndEmpty(t *testing.T) {
+	q := NewQueue[int](8)
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("new queue should be empty")
+	}
+	vals := []int{1, 2, 3}
+	for i := range vals {
+		q.Push(&vals[i])
+	}
+	if q.Empty() || q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	q.TryPop()
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+// TestFIFOOrderConcurrent is the core correctness property: with one
+// producer and one consumer running concurrently, every item arrives exactly
+// once and in order.
+func TestFIFOOrderConcurrent(t *testing.T) {
+	const n = 200000
+	q := NewQueue[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			v := i
+			q.Push(&v)
+		}
+		q.Close()
+	}()
+	next := 0
+	for {
+		v := q.Pop()
+		if v == nil {
+			break
+		}
+		if *v != next {
+			t.Fatalf("out of order: got %d, want %d", *v, next)
+		}
+		next++
+	}
+	if next != n {
+		t.Fatalf("received %d items, want %d", next, n)
+	}
+	wg.Wait()
+}
+
+// TestBlockingPushWakesParkedConsumer exercises the park/wake protocol with a
+// tiny queue so both sides park repeatedly.
+func TestBlockingPushWakesParkedConsumer(t *testing.T) {
+	const n = 50000
+	q := NewQueue[int](1)
+	done := make(chan int)
+	go func() {
+		sum := 0
+		for {
+			v := q.Pop()
+			if v == nil {
+				break
+			}
+			sum += *v
+		}
+		done <- sum
+	}()
+	want := 0
+	for i := 0; i < n; i++ {
+		v := i
+		want += i
+		q.Push(&v)
+	}
+	q.Close()
+	if got := <-done; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestQuickSequences drives random push/pop interleavings (single-threaded)
+// against a slice model.
+func TestQuickSequences(t *testing.T) {
+	f := func(ops []bool, vals []int16) bool {
+		q := NewQueue[int16](8)
+		var model []int16
+		vi := 0
+		for _, isPush := range ops {
+			if isPush && vi < len(vals) {
+				v := vals[vi]
+				vi++
+				if q.TryPush(&v) {
+					model = append(model, v)
+				} else if len(model) != q.Cap() {
+					return false // rejected while model says not full
+				}
+			} else {
+				got := q.TryPop()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					if got == nil || *got != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	q := NewQueue[int](1024)
+	done := make(chan struct{})
+	go func() {
+		for q.Pop() != nil {
+		}
+		close(done)
+	}()
+	v := 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(&v)
+	}
+	q.Close()
+	<-done
+}

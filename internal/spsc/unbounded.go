@@ -1,0 +1,48 @@
+package spsc
+
+import "sync/atomic"
+
+// Unbounded is an unbounded lock-free SPSC queue (a Vyukov-style linked
+// list). The recursive-delegation extension uses it for its per-producer
+// lanes: a delegate may delegate to a set it itself owns, and with a
+// bounded queue the push could block on a lane only the pushing context
+// can drain — a self-deadlock. Unbounded lanes make recursive delegation
+// deadlock-free by construction, trading the FastForward queue's cache
+// behaviour for safety on a path where operations are coarse anyway.
+type Unbounded[T any] struct {
+	head *unode[T] // consumer-private
+	tail *unode[T] // producer-private
+}
+
+type unode[T any] struct {
+	next atomic.Pointer[unode[T]]
+	val  *T
+}
+
+// NewUnbounded returns an empty queue.
+func NewUnbounded[T any]() *Unbounded[T] {
+	stub := &unode[T]{}
+	return &Unbounded[T]{head: stub, tail: stub}
+}
+
+// Push appends v. Never blocks. Producer-only.
+func (q *Unbounded[T]) Push(v *T) {
+	n := &unode[T]{val: v}
+	q.tail.next.Store(n)
+	q.tail = n
+}
+
+// TryPop removes the next value, or returns nil if empty. Consumer-only.
+func (q *Unbounded[T]) TryPop() *T {
+	next := q.head.next.Load()
+	if next == nil {
+		return nil
+	}
+	v := next.val
+	next.val = nil // release for GC
+	q.head = next
+	return v
+}
+
+// Empty reports whether the queue appears empty to the consumer.
+func (q *Unbounded[T]) Empty() bool { return q.head.next.Load() == nil }

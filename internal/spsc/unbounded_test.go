@@ -1,0 +1,72 @@
+package spsc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestUnboundedFIFO(t *testing.T) {
+	q := NewUnbounded[int]()
+	if !q.Empty() || q.TryPop() != nil {
+		t.Fatal("new queue should be empty")
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		q.Push(&vals[i])
+	}
+	if q.Empty() {
+		t.Fatal("queue with items reports empty")
+	}
+	for i := range vals {
+		got := q.TryPop()
+		if got == nil || *got != vals[i] {
+			t.Fatalf("pop %d = %v, want %d", i, got, vals[i])
+		}
+	}
+	if q.TryPop() != nil {
+		t.Fatal("drained queue should pop nil")
+	}
+}
+
+func TestUnboundedNeverBlocks(t *testing.T) {
+	// The deadlock-freedom property recursive delegation relies on: a
+	// producer can push any number of items with no consumer at all.
+	q := NewUnbounded[int]()
+	v := 7
+	for i := 0; i < 100000; i++ {
+		q.Push(&v)
+	}
+	n := 0
+	for q.TryPop() != nil {
+		n++
+	}
+	if n != 100000 {
+		t.Fatalf("drained %d items, want 100000", n)
+	}
+}
+
+func TestUnboundedConcurrent(t *testing.T) {
+	const n = 100000
+	q := NewUnbounded[int]()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			v := i
+			q.Push(&v)
+		}
+	}()
+	next := 0
+	for next < n {
+		v := q.TryPop()
+		if v == nil {
+			continue
+		}
+		if *v != next {
+			t.Fatalf("out of order: got %d, want %d", *v, next)
+		}
+		next++
+	}
+	wg.Wait()
+}

@@ -1,0 +1,59 @@
+package workload
+
+// Stream generator for dedup: a byte stream assembled from a pool of
+// "segments", many of which recur. The redundancy ratio controls how often
+// a segment is a repeat of an earlier one — the property that, per the
+// paper's Figure 5b discussion, drives dedup's speedup more than input size
+// does. To reproduce that anomaly, the Medium class is generated with a
+// substantially higher redundancy ratio than Small and Large.
+
+// DedupConfig parameterizes the dedup input (Table 2: 31 MB / 185 MB /
+// 673 MB archives, scaled down ~20x).
+type DedupConfig struct {
+	Seed       int64
+	Bytes      int     // total stream size
+	SegmentLen int     // mean segment length
+	Redundancy float64 // probability a segment repeats an earlier one
+}
+
+// DedupSize returns the dedup input configuration for a size class. The
+// Medium class deliberately carries much lower redundancy than Small and
+// Large: the paper observes that dedup's speedup tracks "how much
+// compression is needed for a particular file, rather than the size of the
+// file", with the medium input the outlier (its unique chunks leave the
+// most parallel compression work). This reproduces the Figure 5b anomaly.
+func DedupSize(size SizeClass) DedupConfig {
+	return DedupConfig{
+		Seed:       91,
+		Bytes:      pick(size, 2<<20, 9<<20, 32<<20),
+		SegmentLen: 4096,
+		Redundancy: pick(size, 0.80, 0.30, 0.80),
+	}
+}
+
+// GenerateDedupStream builds the stream.
+func GenerateDedupStream(cfg DedupConfig) []byte {
+	r := newRand(cfg.Seed)
+	out := make([]byte, 0, cfg.Bytes+cfg.SegmentLen)
+	var pool [][]byte
+	for len(out) < cfg.Bytes {
+		if len(pool) > 0 && r.Float64() < cfg.Redundancy {
+			out = append(out, pool[r.Intn(len(pool))]...)
+			continue
+		}
+		n := cfg.SegmentLen/2 + r.Intn(cfg.SegmentLen)
+		seg := make([]byte, n)
+		// Compressible content: runs of small-alphabet bytes.
+		for i := 0; i < n; {
+			b := byte('a' + r.Intn(16))
+			run := 1 + r.Intn(8)
+			for j := 0; j < run && i < n; j++ {
+				seg[i] = b
+				i++
+			}
+		}
+		pool = append(pool, seg)
+		out = append(out, seg...)
+	}
+	return out[:cfg.Bytes]
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HTMLConfig parameterizes the reverse_index input (Table 2: 100 MB / 500 MB
+// / 1 GB HTML directory trees, scaled down). The generated corpus is a
+// directory tree of HTML files whose anchor tags draw URLs from a shared
+// pool, so links recur across files and the reverse index is non-trivial.
+type HTMLConfig struct {
+	Seed         int64
+	Files        int
+	Dirs         int // internal directories in the tree
+	URLPool      int // distinct link targets
+	LinksPerFile int // mean links per file
+	FillerWords  int // mean filler words between links
+}
+
+// HTMLSize returns the reverse_index input configuration for a size class.
+func HTMLSize(size SizeClass) HTMLConfig {
+	return HTMLConfig{
+		Seed:         1337,
+		Files:        pick(size, 600, 2500, 5000),
+		Dirs:         pick(size, 30, 80, 150),
+		URLPool:      pick(size, 500, 2000, 4000),
+		LinksPerFile: 30,
+		FillerWords:  2000,
+	}
+}
+
+// HTMLDoc is one generated page.
+type HTMLDoc struct {
+	Path    string
+	Content []byte
+}
+
+// HTMLTree is the generated corpus: a rooted directory tree plus the pages.
+type HTMLTree struct {
+	// DirChildren maps a directory path to its immediate subdirectories.
+	DirChildren map[string][]string
+	// DirFiles maps a directory path to the files directly inside it.
+	DirFiles map[string][]*HTMLDoc
+	Docs     []*HTMLDoc
+	URLs     []string
+}
+
+// GenerateHTMLTree builds the corpus. Directory shape, file placement,
+// link selection and filler text are all drawn from the seed.
+func GenerateHTMLTree(cfg HTMLConfig) *HTMLTree {
+	r := newRand(cfg.Seed)
+	urls := make([]string, cfg.URLPool)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site%d.example.com/%s", i%97, randomWord(r))
+	}
+	zipf := NewVocabulary(cfg.Seed+1, 4000) // filler text vocabulary
+
+	t := &HTMLTree{
+		DirChildren: map[string][]string{"/": nil},
+		DirFiles:    map[string][]*HTMLDoc{},
+		URLs:        urls,
+	}
+	// Grow a random tree of directories under "/".
+	dirs := []string{"/"}
+	for i := 0; i < cfg.Dirs; i++ {
+		parent := dirs[r.Intn(len(dirs))]
+		name := fmt.Sprintf("d%02d_%s", i, randomWord(r))
+		path := strings.TrimSuffix(parent, "/") + "/" + name
+		t.DirChildren[parent] = append(t.DirChildren[parent], path)
+		t.DirChildren[path] = nil
+		dirs = append(dirs, path)
+	}
+	// Place files, each with Zipf filler and links drawn from the pool.
+	for i := 0; i < cfg.Files; i++ {
+		dir := dirs[r.Intn(len(dirs))]
+		var b strings.Builder
+		b.WriteString("<html><head><title>")
+		b.WriteString(randomWord(r))
+		b.WriteString("</title></head><body>\n")
+		links := 1 + r.Intn(2*cfg.LinksPerFile)
+		for l := 0; l < links; l++ {
+			words := r.Intn(2 * cfg.FillerWords / cfg.LinksPerFile)
+			for w := 0; w < words; w++ {
+				b.WriteString(zipf.Next())
+				b.WriteByte(' ')
+			}
+			url := urls[r.Intn(len(urls))]
+			fmt.Fprintf(&b, "<a href=\"%s\">%s</a>\n", url, randomWord(r))
+		}
+		b.WriteString("</body></html>\n")
+		doc := &HTMLDoc{
+			Path:    strings.TrimSuffix(dir, "/") + "/" + fmt.Sprintf("f%04d.html", i),
+			Content: []byte(b.String()),
+		}
+		t.DirFiles[dir] = append(t.DirFiles[dir], doc)
+		t.Docs = append(t.Docs, doc)
+	}
+	return t
+}
+
+// TotalBytes returns the corpus size.
+func (t *HTMLTree) TotalBytes() int {
+	n := 0
+	for _, d := range t.Docs {
+		n += len(d.Content)
+	}
+	return n
+}

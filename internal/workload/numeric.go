@@ -1,0 +1,152 @@
+package workload
+
+// Generators for the numeric benchmarks: blackscholes options, histogram
+// bitmaps, kmeans point clouds, and barnes-hut body distributions.
+
+// Option is one Black-Scholes pricing problem (PARSEC blackscholes input
+// row: spot, strike, rate, volatility, time, type).
+type Option struct {
+	Spot, Strike, Rate, Vol, Time float64
+	Call                          bool
+}
+
+// OptionsSize returns the blackscholes input scale (Table 2: 16,384 /
+// 65,536 / 10,000,000 options; the L class is scaled to keep runtimes
+// laptop-friendly while preserving the S:M step).
+func OptionsSize(size SizeClass) int {
+	return pick(size, 16384, 65536, 1000000)
+}
+
+// GenerateOptions draws n options with PARSEC-like parameter ranges.
+func GenerateOptions(seed int64, n int) []Option {
+	r := newRand(seed)
+	opts := make([]Option, n)
+	for i := range opts {
+		opts[i] = Option{
+			Spot:   50 + 100*r.Float64(),
+			Strike: 50 + 100*r.Float64(),
+			Rate:   0.01 + 0.09*r.Float64(),
+			Vol:    0.05 + 0.60*r.Float64(),
+			Time:   0.1 + 2.0*r.Float64(),
+			Call:   r.Intn(2) == 0,
+		}
+	}
+	return opts
+}
+
+// BitmapSize returns the histogram input size in pixels (Table 2: 100 MB /
+// 400 MB / 1.4 GB bitmaps at 3 bytes per pixel, scaled down ~40x).
+func BitmapSize(size SizeClass) int {
+	return pick(size, 1<<20, 4<<20, 12<<20) // pixels
+}
+
+// GenerateBitmap produces 3*pixels bytes of RGB data with per-channel
+// non-uniform distributions (real images are not white noise; a skewed
+// distribution keeps the histogram bins unevenly filled).
+func GenerateBitmap(seed int64, pixels int) []byte {
+	r := newRand(seed)
+	data := make([]byte, 3*pixels)
+	for i := 0; i < len(data); i += 3 {
+		// Sum of two uniforms gives a triangular distribution.
+		data[i] = byte((r.Intn(128) + r.Intn(128)))
+		data[i+1] = byte((r.Intn(256) + r.Intn(256)) / 2)
+		data[i+2] = byte(r.Intn(256))
+	}
+	return data
+}
+
+// Point is an n-dimensional kmeans data point.
+type Point []float64
+
+// KMeansConfig mirrors Table 2's kmeans rows: points, clusters.
+type KMeansConfig struct {
+	Seed     int64
+	Points   int
+	Clusters int
+	Dims     int
+	Iters    int
+}
+
+// KMeansSize returns the kmeans configuration (Table 2: 5,000/50 —
+// 10,000/100 — 50,000/100 points/clusters).
+func KMeansSize(size SizeClass) KMeansConfig {
+	return KMeansConfig{
+		Seed:     7,
+		Points:   pick(size, 5000, 10000, 50000),
+		Clusters: pick(size, 50, 100, 100),
+		Dims:     16,
+		Iters:    10,
+	}
+}
+
+// GeneratePoints draws cfg.Points points in cfg.Dims dimensions, clustered
+// around cfg.Clusters Gaussian centers so the clustering is meaningful.
+func GeneratePoints(cfg KMeansConfig) []Point {
+	r := newRand(cfg.Seed)
+	centers := make([]Point, cfg.Clusters)
+	for i := range centers {
+		c := make(Point, cfg.Dims)
+		for d := range c {
+			c[d] = 100 * r.Float64()
+		}
+		centers[i] = c
+	}
+	pts := make([]Point, cfg.Points)
+	for i := range pts {
+		c := centers[r.Intn(len(centers))]
+		p := make(Point, cfg.Dims)
+		for d := range p {
+			p[d] = c[d] + 5*r.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// NBodyConfig mirrors Table 2's barnes-hut rows: bodies, steps.
+type NBodyConfig struct {
+	Seed   int64
+	Bodies int
+	Steps  int
+}
+
+// NBodySize returns the barnes-hut configuration (Table 2: 1,000/25 —
+// 10,000/50 — 100,000/75 bodies/steps; steps scaled down to keep the
+// benchmark minutes-scale).
+func NBodySize(size SizeClass) NBodyConfig {
+	return NBodyConfig{
+		Seed:   11,
+		Bodies: pick(size, 1000, 10000, 50000),
+		Steps:  pick(size, 4, 6, 8),
+	}
+}
+
+// Body3 is the generator's body record: position, velocity, mass.
+type Body3 struct {
+	PX, PY, PZ float64
+	VX, VY, VZ float64
+	Mass       float64
+}
+
+// GenerateBodies draws bodies from a uniform-in-sphere distribution with
+// small random velocities (a crude Plummer-like model).
+func GenerateBodies(cfg NBodyConfig) []Body3 {
+	r := newRand(cfg.Seed)
+	bodies := make([]Body3, cfg.Bodies)
+	for i := range bodies {
+		// Rejection-sample the unit ball, then scale.
+		var x, y, z float64
+		for {
+			x, y, z = 2*r.Float64()-1, 2*r.Float64()-1, 2*r.Float64()-1
+			if x*x+y*y+z*z <= 1 {
+				break
+			}
+		}
+		bodies[i] = Body3{
+			PX: 100 * x, PY: 100 * y, PZ: 100 * z,
+			VX: r.NormFloat64(), VY: r.NormFloat64(), VZ: r.NormFloat64(),
+			Mass: 1 + 9*r.Float64(),
+		}
+	}
+	return bodies
+}

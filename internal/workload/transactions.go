@@ -1,0 +1,81 @@
+package workload
+
+// Transaction generator for freqmine, in the style of the IBM Quest
+// synthetic data generator used by the original FIMI benchmarks: maximal
+// potentially-frequent itemsets ("patterns") are drawn first, then each
+// transaction is assembled from a few patterns plus noise items, so the
+// database contains genuinely frequent itemsets for FP-growth to find.
+
+// Transaction is a list of item ids (deduplicated, unordered).
+type Transaction []int
+
+// TxnConfig parameterizes the freqmine input (Table 2: 250,000 / 500,000 /
+// 990,000 transactions, scaled down 10x).
+type TxnConfig struct {
+	Seed       int64
+	Count      int     // number of transactions
+	Items      int     // universe of item ids
+	Patterns   int     // number of embedded frequent patterns
+	PatternLen int     // mean pattern length
+	TxnLen     int     // mean transaction length
+	MinSupport float64 // fraction of Count used as the mining threshold
+}
+
+// TxnSize returns the freqmine configuration for a size class.
+func TxnSize(size SizeClass) TxnConfig {
+	return TxnConfig{
+		Seed:       23,
+		Count:      pick(size, 25000, 50000, 99000),
+		Items:      1000,
+		Patterns:   60,
+		PatternLen: 6,
+		TxnLen:     14,
+		MinSupport: 0.003,
+	}
+}
+
+// GenerateTransactions builds the database.
+func GenerateTransactions(cfg TxnConfig) []Transaction {
+	r := newRand(cfg.Seed)
+	patterns := make([][]int, cfg.Patterns)
+	for i := range patterns {
+		n := 2 + r.Intn(2*cfg.PatternLen-2)
+		p := make([]int, 0, n)
+		seen := map[int]bool{}
+		for len(p) < n {
+			it := r.Intn(cfg.Items)
+			if !seen[it] {
+				seen[it] = true
+				p = append(p, it)
+			}
+		}
+		patterns[i] = p
+	}
+	txns := make([]Transaction, cfg.Count)
+	for i := range txns {
+		seen := map[int]bool{}
+		var t Transaction
+		// 1-2 embedded patterns; Zipf-ish pattern choice (low ids frequent).
+		nPat := 1 + r.Intn(2)
+		for p := 0; p < nPat; p++ {
+			idx := r.Intn(cfg.Patterns)
+			idx = (idx * r.Intn(cfg.Patterns)) / cfg.Patterns // skew toward 0
+			for _, it := range patterns[idx] {
+				if !seen[it] {
+					seen[it] = true
+					t = append(t, it)
+				}
+			}
+		}
+		// Noise items to reach the target length.
+		for len(t) < cfg.TxnLen/2+r.Intn(cfg.TxnLen) {
+			it := r.Intn(cfg.Items)
+			if !seen[it] {
+				seen[it] = true
+				t = append(t, it)
+			}
+		}
+		txns[i] = t
+	}
+	return txns
+}

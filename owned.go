@@ -1,0 +1,69 @@
+package prometheus
+
+import "sync/atomic"
+
+// Owned is the library's smart pointer (paper §3.1: "a set of smart
+// pointer types that can track ownership of pointed-to objects, and detect
+// errors when they are accessed by more than one owner in an isolation
+// epoch"). Wrapper classes guarantee isolation for state stored inside an
+// object, but objects holding pointers to outside state can still
+// interfere; routing such pointers through Owned extends the dynamic
+// checks to the pointed-to data.
+//
+// Use records the accessing context; the first access in an isolation
+// epoch claims ownership for that epoch, and any later access from a
+// different context panics with ErrPartitionViolation. Outside isolation
+// epochs access is unrestricted. The claim check is lock-free (a single
+// CAS) so it is cheap enough to leave enabled in delegated code.
+type Owned[T any] struct {
+	rt  *Runtime
+	obj T
+	// claim packs (epoch << 8 | ctx+1) of the claiming access; 0 = never
+	// claimed. Context ids fit in 8 bits (delegate pools are machine-
+	// sized); epochs in the remaining 56.
+	claim atomic.Uint64
+}
+
+// NewOwned wraps obj in an ownership-tracked pointer.
+func NewOwned[T any](rt *Runtime, obj T) *Owned[T] {
+	return &Owned[T]{rt: rt, obj: obj}
+}
+
+// Use returns the pointed-to object, recording (and checking) ownership
+// for the current isolation epoch. Pass the *Ctx of the executing
+// delegated operation, or Runtime.ProgramCtx() from the program context.
+func (o *Owned[T]) Use(c *Ctx) *T {
+	rt := o.rt
+	// Epoch state only changes in the program context while delegates are
+	// quiescent (EndIsolation is a barrier), so this read is stable from
+	// any executing operation.
+	if !rt.core.InIsolation() {
+		return &o.obj
+	}
+	tag := rt.core.Epoch()<<8 | uint64(c.id) + 1
+	for {
+		cur := o.claim.Load()
+		if cur>>8 != rt.core.Epoch() {
+			// Unclaimed this epoch: try to claim.
+			if o.claim.CompareAndSwap(cur, tag) {
+				return &o.obj
+			}
+			continue
+		}
+		if cur != tag {
+			raise(ErrPartitionViolation,
+				"owned pointer accessed by context %d after being owned by context %d this epoch",
+				c.id, int(cur&0xff)-1)
+		}
+		return &o.obj
+	}
+}
+
+// Owner returns the context id holding the object this epoch, or -1.
+func (o *Owned[T]) Owner() int {
+	cur := o.claim.Load()
+	if cur == 0 || cur>>8 != o.rt.core.Epoch() || !o.rt.core.InIsolation() {
+		return -1
+	}
+	return int(cur&0xff) - 1
+}

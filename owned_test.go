@@ -1,0 +1,84 @@
+package prometheus
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestOwnedSingleOwnerOK(t *testing.T) {
+	rt := newRT(t, WithDelegates(2), WithVirtualDelegates(2))
+	shared := NewOwned(rt, []int{1, 2, 3})
+	w := NewWritable(rt, 0)
+	var sum atomic.Int64
+	rt.BeginIsolation()
+	for i := 0; i < 100; i++ {
+		w.Delegate(func(c *Ctx, _ *int) {
+			for _, v := range *shared.Use(c) {
+				sum.Add(int64(v))
+			}
+		})
+	}
+	rt.EndIsolation()
+	if got := sum.Load(); got != 600 {
+		t.Fatalf("sum = %d, want 600", got)
+	}
+}
+
+func TestOwnedCrossOwnerDetected(t *testing.T) {
+	rt := newRT(t, WithDelegates(1))
+	shared := NewOwned(rt, 7)
+	rt.BeginIsolation()
+	_ = shared.Use(rt.ProgramCtx()) // program context claims
+	if got := shared.Owner(); got != 0 {
+		t.Fatalf("Owner = %d, want 0", got)
+	}
+	// A delegated access from a different context must be detected. The
+	// panic fires inside the delegate goroutine; surface it via a channel.
+	caught := make(chan any, 1)
+	w := NewWritable(rt, 0)
+	w.Delegate(func(c *Ctx, _ *int) {
+		defer func() { caught <- recover() }()
+		shared.Use(c)
+	})
+	rt.EndIsolation()
+	r := <-caught
+	e, ok := r.(*Error)
+	if !ok || e.Kind != ErrPartitionViolation {
+		t.Fatalf("expected partition violation, got %v", r)
+	}
+}
+
+func TestOwnedReleasedAtEpochEnd(t *testing.T) {
+	rt := newRT(t, WithDelegates(2))
+	shared := NewOwned(rt, 1)
+	rt.BeginIsolation()
+	_ = shared.Use(rt.ProgramCtx())
+	rt.EndIsolation()
+	if shared.Owner() != -1 {
+		t.Fatal("ownership should lapse outside isolation")
+	}
+	// A different context may claim in the next epoch.
+	w := NewWritable(rt, 0)
+	ok := make(chan bool, 1)
+	rt.BeginIsolation()
+	w.Delegate(func(c *Ctx, _ *int) {
+		defer func() { ok <- recover() == nil }()
+		shared.Use(c)
+	})
+	rt.EndIsolation()
+	if !<-ok {
+		t.Fatal("fresh epoch claim should succeed")
+	}
+}
+
+func TestOwnedAggregationUnrestricted(t *testing.T) {
+	rt := newRT(t, WithDelegates(1))
+	shared := NewOwned(rt, 5)
+	*shared.Use(rt.ProgramCtx()) = 6
+	if *shared.Use(rt.ProgramCtx()) != 6 {
+		t.Fatal("aggregation access failed")
+	}
+	if shared.Owner() != -1 {
+		t.Fatal("no ownership outside isolation")
+	}
+}

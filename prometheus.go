@@ -1,0 +1,178 @@
+package prometheus
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Stats re-exports the runtime counters and the per-phase time breakdown
+// (used to regenerate the paper's Figure 5a).
+type Stats = core.Stats
+
+// Phase identifies an epoch type in Stats.
+type Phase = core.Phase
+
+// Phases, re-exported from the engine.
+const (
+	PhaseAggregation = core.PhaseAggregation
+	PhaseIsolation   = core.PhaseIsolation
+	PhaseReduction   = core.PhaseReduction
+)
+
+// SchedPolicy selects the delegate-assignment policy.
+type SchedPolicy = core.SchedPolicy
+
+// Assignment policies: StaticMod is the paper's (§4); LeastLoaded is the
+// dynamic-scheduling extension the paper names as future work.
+const (
+	StaticMod   = core.StaticMod
+	LeastLoaded = core.LeastLoaded
+)
+
+// Ctx identifies the execution context running a delegated operation. The
+// program context has ID 0; delegate contexts are numbered from 1. Reducible
+// views are addressed by Ctx. A Ctx must not be retained beyond the
+// delegated call it was passed to.
+type Ctx struct {
+	rt *Runtime
+	id int
+}
+
+// ID returns the context number in [0, Runtime.NumContexts()).
+func (c *Ctx) ID() int { return c.id }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Delegate assigns fn to the given serialization set from inside a
+// delegated operation (recursive delegation; requires the Recursive
+// option). Per-set ordering follows the delegating context's program
+// order; a set must not receive delegations from two different contexts in
+// one isolation epoch.
+func (c *Ctx) Delegate(set uint64, fn func(c *Ctx)) {
+	rt := c.rt
+	rt.core.DelegateFrom(c.id, set, func(id int) { fn(&rt.ctxs[id]) })
+}
+
+// Option configures Init.
+type Option func(*core.Config)
+
+// WithDelegates sets the number of delegate contexts (paper: delegate
+// threads; default GOMAXPROCS-1).
+func WithDelegates(n int) Option { return func(c *core.Config) { c.Delegates = n } }
+
+// WithVirtualDelegates sets the size of the static assignment table (§4).
+func WithVirtualDelegates(n int) Option { return func(c *core.Config) { c.VirtualDelegates = n } }
+
+// WithProgramShare assigns n virtual delegates to the program context itself
+// (the paper's assignment ratio); their operations execute inline.
+func WithProgramShare(n int) Option { return func(c *core.Config) { c.ProgramShare = n } }
+
+// WithQueueCapacity sets the per-delegate communication queue capacity.
+func WithQueueCapacity(n int) Option { return func(c *core.Config) { c.QueueCapacity = n } }
+
+// WithPolicy selects the delegate-assignment policy.
+func WithPolicy(p SchedPolicy) Option { return func(c *core.Config) { c.Policy = p } }
+
+// Sequential builds the runtime in the paper's debug mode (§3.3): all
+// delegations execute inline, in program order, with checks still active.
+func Sequential() Option { return func(c *core.Config) { c.Sequential = true } }
+
+// Checked enables dynamic error detection (§3.3). The paper disables these
+// checks for performance measurements; so do the benchmarks here.
+func Checked() Option { return func(c *core.Config) { c.Checked = true } }
+
+// WithTrace enables execution tracing; retrieve events with
+// Runtime.TraceEvents and analyze them with the trace package.
+func WithTrace() Option { return func(c *core.Config) { c.Trace = true } }
+
+// Recursive enables recursive delegation, the extension the paper names as
+// future work (§4): delegated operations may delegate further operations
+// via Ctx.Delegate. A serialization set must receive delegations from only
+// one context per isolation epoch for the execution to stay deterministic.
+// Incompatible with WithProgramShare and WithPolicy(LeastLoaded).
+func Recursive() Option { return func(c *core.Config) { c.Recursive = true } }
+
+// Runtime is the serialization-sets runtime. Create one with Init; the
+// creating goroutine is the program context and is the only goroutine that
+// may call Runtime methods. Delegated closures receive a *Ctx instead.
+type Runtime struct {
+	core     *core.Runtime
+	ctxs     []Ctx // one per context id; handed to delegated closures
+	instance atomic.Uint64
+	checked  bool
+}
+
+// Init starts a runtime (paper: initialize()).
+func Init(opts ...Option) *Runtime {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rt := &Runtime{checked: cfg.Checked}
+	rt.core = core.New(cfg)
+	rt.ctxs = make([]Ctx, rt.core.NumContexts())
+	for i := range rt.ctxs {
+		rt.ctxs[i] = Ctx{rt: rt, id: i}
+	}
+	return rt
+}
+
+// Terminate shuts down the runtime (paper: terminate()), draining
+// outstanding delegated work first.
+func (rt *Runtime) Terminate() { rt.core.Terminate() }
+
+// Sleep quiesces delegate contexts during a long aggregation epoch
+// (paper: sleep()).
+func (rt *Runtime) Sleep() { rt.core.Sleep() }
+
+// BeginIsolation opens an isolation epoch (paper: begin_isolation()).
+func (rt *Runtime) BeginIsolation() { rt.core.BeginIsolation() }
+
+// EndIsolation closes the isolation epoch, synchronizing with all delegate
+// contexts (paper: end_isolation()).
+func (rt *Runtime) EndIsolation() { rt.core.EndIsolation() }
+
+// InIsolation reports whether an isolation epoch is open.
+func (rt *Runtime) InIsolation() bool { return rt.core.InIsolation() }
+
+// NumContexts returns the number of execution contexts (1 program +
+// delegates).
+func (rt *Runtime) NumContexts() int { return rt.core.NumContexts() }
+
+// NumDelegates returns the number of delegate contexts.
+func (rt *Runtime) NumDelegates() int { return rt.core.NumContexts() - 1 }
+
+// ProgramCtx returns the program context handle, for use with reducibles
+// from the program context.
+func (rt *Runtime) ProgramCtx() *Ctx { return &rt.ctxs[core.ProgramContext] }
+
+// Stats returns a snapshot of runtime counters and phase times.
+func (rt *Runtime) Stats() Stats { return rt.core.Stats() }
+
+// TraceEvent re-exports the trace record type.
+type TraceEvent = core.TraceEvent
+
+// Trace-event kinds, re-exported.
+const (
+	TraceExec  = core.TraceExec
+	TraceSync  = core.TraceSync
+	TraceEpoch = core.TraceEpoch
+)
+
+// TraceEvents returns the merged trace (nil unless WithTrace was given).
+// Program context, aggregation epoch only.
+func (rt *Runtime) TraceEvents() []TraceEvent { return rt.core.TraceEvents() }
+
+// Checked reports whether dynamic error detection is enabled.
+func (rt *Runtime) Checked() bool { return rt.checked }
+
+// nextInstance issues wrapper instance numbers (the sequence serializer's
+// identity source).
+func (rt *Runtime) nextInstance() uint64 { return rt.instance.Add(1) - 1 }
+
+// delegate forwards to the engine, translating context ids to *Ctx.
+func (rt *Runtime) delegate(set uint64, fn func(c *Ctx)) int {
+	return rt.core.Delegate(set, func(id int) { fn(&rt.ctxs[id]) })
+}

@@ -1,0 +1,119 @@
+package prometheus_test
+
+// Alloc-regression tests for the delegation hot path. With Checked and
+// Trace off, a steady-state delegation is required to perform zero heap
+// allocations: invocation records travel by value through the SPSC rings
+// (internal/spsc), and wrappers dispatch through a static per-type
+// trampoline plus two payload words (core.Trampoline, tramp.go) instead of
+// constructing closures. If one of these tests starts failing, something
+// reintroduced a per-operation allocation — typically a closure capture, a
+// parameter escaping to the heap, or a pointer-carrying queue.
+//
+// Warmup loops run first so one-time costs (queue fill, goroutine park/wake
+// machinery, LeastLoaded-free default map state) are paid before measuring.
+
+import (
+	"testing"
+
+	prometheus "repro"
+)
+
+const allocWarmup = 5000
+
+func requireZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(500, fn); n != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", name, n)
+	}
+}
+
+func TestWritableDelegateZeroAlloc(t *testing.T) {
+	rt := prometheus.Init(prometheus.WithDelegates(2))
+	defer rt.Terminate()
+	w := prometheus.NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	for i := 0; i < allocWarmup; i++ {
+		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	}
+	requireZeroAllocs(t, "Writable.Delegate", func() {
+		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}
+
+func TestWritableDelegateToZeroAlloc(t *testing.T) {
+	rt := prometheus.Init(prometheus.WithDelegates(2))
+	defer rt.Terminate()
+	w := prometheus.NewWritableSer(rt, 0, prometheus.NullSerializer[int]())
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	for i := 0; i < allocWarmup; i++ {
+		w.DelegateTo(3, func(c *prometheus.Ctx, p *int) { *p++ })
+	}
+	requireZeroAllocs(t, "Writable.DelegateTo", func() {
+		w.DelegateTo(3, func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}
+
+func TestDoAllZeroAlloc(t *testing.T) {
+	rt := prometheus.Init(prometheus.WithDelegates(2))
+	defer rt.Terminate()
+	objs := make([]*prometheus.Writable[int], 16)
+	for i := range objs {
+		objs[i] = prometheus.NewWritable(rt, 0)
+	}
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	for i := 0; i < allocWarmup/16; i++ {
+		prometheus.DoAll(objs, func(c *prometheus.Ctx, p *int) { *p++ })
+	}
+	requireZeroAllocs(t, "DoAll", func() {
+		prometheus.DoAll(objs, func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}
+
+func TestReducibleDelegateZeroAlloc(t *testing.T) {
+	rt := prometheus.Init(prometheus.WithDelegates(2))
+	defer rt.Terminate()
+	r := prometheus.NewReducible(rt,
+		func() int { return 0 },
+		func(dst, src *int) { *dst += *src })
+	rt.BeginIsolation()
+	for i := 0; i < allocWarmup; i++ {
+		r.Delegate(uint64(i%4), func(v *int) { *v++ })
+	}
+	requireZeroAllocs(t, "Reducible.Delegate", func() {
+		r.Delegate(2, func(v *int) { *v++ })
+	})
+	rt.EndIsolation()
+	if got := *r.Result(); got != allocWarmup+501 {
+		// 500 measured runs + 1 AllocsPerRun warmup run.
+		t.Fatalf("reduced total = %d, want %d (updates lost)", got, allocWarmup+501)
+	}
+}
+
+func TestReadOnlyDelegateZeroAlloc(t *testing.T) {
+	rt := prometheus.Init(prometheus.WithDelegates(2))
+	defer rt.Terminate()
+	r := prometheus.NewReadOnly(rt, 42)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	for i := 0; i < allocWarmup; i++ {
+		r.Delegate(uint64(i%4), func(c *prometheus.Ctx, p *int) { _ = *p })
+	}
+	requireZeroAllocs(t, "ReadOnly.Delegate", func() {
+		r.Delegate(1, func(c *prometheus.Ctx, p *int) { _ = *p })
+	})
+}
+
+func TestSequentialInlineZeroAlloc(t *testing.T) {
+	// Debug mode runs the same trampoline inline; it must be free too.
+	rt := prometheus.Init(prometheus.Sequential())
+	defer rt.Terminate()
+	w := prometheus.NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	requireZeroAllocs(t, "Sequential Writable.Delegate", func() {
+		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}

@@ -1,6 +1,16 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/spsc"
+)
+
+// DefaultDelegateBatch is the default size of the program context's
+// delegation buffer. Small on purpose: the buffer amortizes the wake-signal
+// atomic across a burst, and a handful of operations already captures most
+// of that win while bounding how long a buffered operation can wait.
+const DefaultDelegateBatch = 8
 
 // SchedPolicy selects how serialization sets are assigned to delegate
 // contexts.
@@ -52,6 +62,16 @@ type Config struct {
 	// Default spsc.DefaultCapacity.
 	QueueCapacity int
 
+	// DelegateBatch bounds the program context's delegation buffer: runs of
+	// up to DelegateBatch consecutive operations bound for the same delegate
+	// are written to its ring as one batch with a single wake-up signal.
+	// The buffer is bypassed while the target delegate is idle (an idle
+	// delegate needs the operation now, not amortization) and flushed on
+	// every target switch, synchronization, barrier, and epoch transition.
+	// Default DefaultDelegateBatch; 1 disables batching. Ignored in
+	// Sequential and Recursive modes.
+	DelegateBatch int
+
 	// Sequential enables the paper's debug mode (§3.3): every delegation
 	// executes inline in the program context, in program order, while all
 	// serializers and dynamic checks still run. The program computes the
@@ -96,7 +116,10 @@ func (c Config) withDefaults() Config {
 		c.VirtualDelegates = c.Delegates + c.ProgramShare
 	}
 	if c.QueueCapacity <= 0 {
-		c.QueueCapacity = 1024
+		c.QueueCapacity = spsc.DefaultCapacity
+	}
+	if c.DelegateBatch <= 0 {
+		c.DelegateBatch = DefaultDelegateBatch
 	}
 	return c
 }

@@ -1,5 +1,7 @@
 package core
 
+import "unsafe"
+
 // invocationKind discriminates the message types carried on the
 // communication queues (paper §4: invocation objects, synchronization
 // objects, termination objects).
@@ -11,13 +13,40 @@ const (
 	kindTerminate                       // shut down the delegate
 )
 
+// Trampoline is the statically-dispatched form of a delegated operation:
+// a plain function pointer plus two payload words. Wrapper layers bind one
+// trampoline per wrapper type (not per call), so a steady-state delegation
+// constructs no closure — the payload words typically carry the wrapper
+// pointer and the user callback's funcval pointer, reinterpreted by the
+// trampoline on the executing context. Both words are scanned by the GC as
+// pointers, so referenced objects stay alive while the invocation is in
+// flight.
+type Trampoline func(ctx int, p1, p2 unsafe.Pointer)
+
 // Invocation is the unit of communication between the program context and a
-// delegate context. For kindMethod it carries the delegated closure and the
-// serialization-set id it was mapped to; for kindSync and kindTerminate the
-// delegate signals done and (for terminate) exits.
+// delegate context. It is carried by value in the communication rings, so
+// enqueueing one allocates nothing. For kindMethod it carries either a
+// static trampoline with two payload words (the zero-allocation fast path)
+// or a delegated closure (the flexible fallback used by RunParallel,
+// tracing, and recursive lanes), plus the serialization-set id it was
+// mapped to; for kindSync and kindTerminate the delegate signals done and
+// (for terminate) exits.
 type Invocation struct {
-	kind invocationKind
-	set  uint64
-	fn   func(ctx int)
-	done chan struct{}
+	kind  invocationKind
+	set   uint64
+	fn    func(ctx int)
+	tramp Trampoline
+	p1    unsafe.Pointer
+	p2    unsafe.Pointer
+	done  chan struct{}
+}
+
+// invoke runs a kindMethod invocation on the given context, dispatching
+// through the trampoline when one is present.
+func (inv *Invocation) invoke(ctx int) {
+	if inv.tramp != nil {
+		inv.tramp(ctx, inv.p1, inv.p2)
+	} else {
+		inv.fn(ctx)
+	}
 }

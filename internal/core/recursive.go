@@ -98,14 +98,14 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 	for {
 		progress := false
 		for _, lane := range d.lanes {
-			inv := lane.TryPop()
-			if inv == nil {
+			inv, ok := lane.TryPop()
+			if !ok {
 				continue
 			}
 			progress = true
 			switch inv.kind {
 			case kindMethod:
-				inv.fn(d.id)
+				inv.invoke(d.id)
 				rt.rec.executed.Add(1)
 			case kindSync:
 				close(inv.done)
@@ -168,7 +168,7 @@ func (rt *Runtime) delegateFrom(producer int, set uint64, fn func(ctx int)) int 
 	owner := rt.vmap[set%uint64(len(rt.vmap))]
 	d := rt.rec.delegates[owner-1]
 	rt.rec.enqueued.Add(1)
-	d.lanes[producer].Push(&Invocation{kind: kindMethod, set: set, fn: fn})
+	d.lanes[producer].Push(Invocation{kind: kindMethod, set: set, fn: fn})
 	d.signal()
 	return owner
 }
@@ -184,7 +184,7 @@ func (rt *Runtime) recBarrier() {
 		dones := make([]chan struct{}, 0, len(rt.rec.delegates))
 		for _, d := range rt.rec.delegates {
 			done := make(chan struct{})
-			d.lanes[ProgramContext].Push(&Invocation{kind: kindSync, done: done})
+			d.lanes[ProgramContext].Push(Invocation{kind: kindSync, done: done})
 			d.signal()
 			dones = append(dones, done)
 		}
@@ -202,7 +202,7 @@ func (rt *Runtime) recTerminate() {
 	rt.recBarrier()
 	for _, d := range rt.rec.delegates {
 		done := make(chan struct{})
-		d.lanes[ProgramContext].Push(&Invocation{kind: kindTerminate, done: done})
+		d.lanes[ProgramContext].Push(Invocation{kind: kindTerminate, done: done})
 		d.signal()
 		<-done
 	}

@@ -1,8 +1,16 @@
 // Package core implements the Prometheus runtime for the serialization-sets
 // execution model (Allen, Sridharan & Sohi, PPoPP 2009): a program context
 // that delegates operations, a pool of delegate contexts each fed by a
-// private FastForward SPSC queue, virtual-delegate assignment, epoch
+// private FastForward-style SPSC queue, virtual-delegate assignment, epoch
 // management, ownership synchronization, and per-phase instrumentation.
+//
+// The delegation hot path is built to cost zero heap allocations and O(1)
+// work in steady state: invocation records travel by value through
+// sequence-stamped rings (no per-operation allocation), wrapper layers
+// delegate through static trampolines (no per-call closure), scheduling
+// queries read O(1) queue-depth counters, and a small program-context
+// buffer batches runs of operations bound for the same delegate so the
+// wake-signal cost is amortized across the run.
 //
 // This package is the engine; the exported user-facing API (wrappers,
 // serializers, reducibles) lives in the repository root package prometheus.
@@ -12,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"time"
+	"unsafe"
 
 	"repro/internal/spsc"
 )
@@ -45,9 +54,25 @@ type Runtime struct {
 	inIsolation bool
 	terminated  bool
 
-	// dirty[d] is true when delegate d (1-based index d-1) has been sent
-	// work since the last barrier; lets barriers and syncs skip idle queues.
+	// dirty[d] is true when delegate d (1-based index d-1) has been sent or
+	// buffered work since the last barrier; lets barriers and syncs skip
+	// idle queues.
 	dirty []bool
+
+	// batch is the program context's delegation buffer (nil when batching
+	// is disabled): up to len(batch) consecutive invocations bound for
+	// delegate batchCtx, delivered with a single PushBatch. Flushed on
+	// target switch, buffer full, synchronization, barrier, epoch
+	// transition, and termination — so no operation outlives the program
+	// context's next blocking interaction with the runtime.
+	batch    []Invocation
+	batchLen int
+	batchCtx int
+	// lastCtx is the destination of the most recent delegation; buffering
+	// only engages on the second consecutive delegation to the same busy
+	// delegate, so alternating-target streams stay on the direct push path
+	// instead of paying a buffer write plus a one-element flush per op.
+	lastCtx int
 
 	// setOwner gives the sticky set->context assignment for the
 	// LeastLoaded policy within the current epoch.
@@ -93,6 +118,9 @@ func New(cfg Config) *Runtime {
 		rt.initRecursive()
 		return rt
 	}
+	if cfg.DelegateBatch > 1 {
+		rt.batch = make([]Invocation, cfg.DelegateBatch)
+	}
 	for i := 0; i < cfg.Delegates; i++ {
 		d := &delegate{id: i + 1, queue: spsc.NewQueue[Invocation](cfg.QueueCapacity)}
 		rt.delegates = append(rt.delegates, d)
@@ -122,13 +150,13 @@ func buildAssignment(cfg Config) []int {
 func (rt *Runtime) delegateLoop(d *delegate) {
 	defer rt.wg.Done()
 	for {
-		inv := d.queue.Pop()
-		if inv == nil { // queue closed and drained
+		inv, ok := d.queue.Pop()
+		if !ok { // queue closed and drained
 			return
 		}
 		switch inv.kind {
 		case kindMethod:
-			inv.fn(d.id)
+			inv.invoke(d.id)
 		case kindSync:
 			close(inv.done)
 		case kindTerminate:
@@ -160,6 +188,7 @@ func (rt *Runtime) BeginIsolation() {
 	if rt.inIsolation {
 		panic("prometheus: nested BeginIsolation")
 	}
+	rt.flushBatch()
 	rt.epoch++
 	rt.inIsolation = true
 	rt.stats.Epochs++
@@ -189,28 +218,105 @@ func (rt *Runtime) EndIsolation() {
 	rt.clock.switchTo(PhaseAggregation, &rt.stats)
 }
 
+// leastLoaded returns the delegate with the fewest pending operations,
+// counting both its queue depth (O(1) from the published counters) and any
+// operations still sitting in the delegation buffer for it.
+func (rt *Runtime) leastLoaded() int {
+	best, bestLen := 1, int(^uint(0)>>1)
+	for _, d := range rt.delegates {
+		n := d.queue.Len()
+		if d.id == rt.batchCtx {
+			n += rt.batchLen
+		}
+		if n < bestLen {
+			best, bestLen = d.id, n
+		}
+	}
+	return best
+}
+
 // ContextFor returns the context id that operations in the given
-// serialization set execute on, under the configured policy.
+// serialization set execute on (or would execute on), under the configured
+// policy. It is a pure query: under LeastLoaded an unowned set is not
+// assigned an owner — only a delegation does that (see assign).
 func (rt *Runtime) ContextFor(set uint64) int {
 	if rt.cfg.Sequential {
 		return ProgramContext
 	}
-	switch rt.cfg.Policy {
-	case LeastLoaded:
+	if rt.cfg.Policy == LeastLoaded {
 		if ctx, ok := rt.setOwner[set]; ok {
 			return ctx
 		}
-		best, bestLen := 1, int(^uint(0)>>1)
-		for _, d := range rt.delegates {
-			if n := d.queue.Len(); n < bestLen {
-				best, bestLen = d.id, n
-			}
+		return rt.leastLoaded()
+	}
+	return rt.vmap[set%uint64(len(rt.vmap))]
+}
+
+// assign maps a set to its execution context on the delegation path,
+// recording the sticky owner on first use under LeastLoaded so the set
+// stays on one delegate for the rest of the epoch. Every other policy
+// defers to the pure ContextFor dispatch.
+func (rt *Runtime) assign(set uint64) int {
+	if rt.setOwner != nil && !rt.cfg.Sequential {
+		if ctx, ok := rt.setOwner[set]; ok {
+			return ctx
 		}
+		best := rt.leastLoaded()
 		rt.setOwner[set] = best
 		return best
-	default:
-		return rt.vmap[set%uint64(len(rt.vmap))]
 	}
+	return rt.ContextFor(set)
+}
+
+// enqueue delivers a method invocation to delegate ctx, routing it through
+// the delegation buffer when batching is enabled.
+func (rt *Runtime) enqueue(ctx int, inv Invocation) {
+	rt.dirty[ctx-1] = true
+	d := rt.delegates[ctx-1]
+	if rt.batch == nil {
+		d.queue.Push(inv)
+		return
+	}
+	if rt.batchLen > 0 && rt.batchCtx != ctx {
+		rt.flushBatch()
+	}
+	if ctx != rt.lastCtx || (rt.batchLen == 0 && d.queue.Len() == 0) {
+		// No same-target run is forming, or the delegate is hungry: hand
+		// the operation over immediately rather than trading latency for
+		// signal amortization — batching only pays while a run of
+		// operations streams to a consumer with a backlog.
+		rt.lastCtx = ctx
+		d.queue.Push(inv)
+		return
+	}
+	rt.batchCtx = ctx
+	rt.batch[rt.batchLen] = inv
+	rt.batchLen++
+	// Flush on a full buffer, and whenever the delegate is observed to
+	// have drained its backlog — a hungry consumer needs the buffered run
+	// now, not amortization. A delegate that drains after the last
+	// delegation can still leave the tail buffered until the program's
+	// next runtime call; every blocking runtime operation flushes first,
+	// so the model's synchronization semantics never see the buffer.
+	if rt.batchLen == len(rt.batch) || d.queue.Len() == 0 {
+		rt.flushBatch()
+	}
+}
+
+// flushBatch delivers the buffered invocations with a single consumer
+// wake-up. Cheap no-op when the buffer is empty.
+func (rt *Runtime) flushBatch() {
+	if rt.batchLen == 0 {
+		return
+	}
+	d := rt.delegates[rt.batchCtx-1]
+	d.queue.PushBatch(rt.batch[:rt.batchLen])
+	rt.stats.BatchFlushes++
+	rt.stats.BatchedOps += uint64(rt.batchLen)
+	// Drop payload references so delivered invocations don't pin their
+	// closures and payloads past the flush.
+	clear(rt.batch[:rt.batchLen])
+	rt.batchLen = 0
 }
 
 // Delegate assigns fn to the serialization set's context and returns that
@@ -225,16 +331,43 @@ func (rt *Runtime) Delegate(set uint64, fn func(ctx int)) int {
 		rt.stats.Delegations++
 		return rt.delegateFrom(ProgramContext, set, fn)
 	}
-	ctx := rt.ContextFor(set)
+	ctx := rt.assign(set)
 	if ctx == ProgramContext {
 		rt.stats.InlineExecs++
 		fn(ProgramContext)
 		return ctx
 	}
 	rt.stats.Delegations++
-	d := rt.delegates[ctx-1]
-	rt.dirty[ctx-1] = true
-	d.queue.Push(&Invocation{kind: kindMethod, set: set, fn: fn})
+	rt.enqueue(ctx, Invocation{kind: kindMethod, set: set, fn: fn})
+	return ctx
+}
+
+// DelegateCall is the zero-allocation delegation fast path: instead of a
+// closure it takes a static trampoline plus two payload words, written by
+// value into the communication ring. Wrapper layers bind one trampoline per
+// wrapper type, so a steady-state DelegateCall performs no heap allocation
+// and O(1) work. Tracing and recursive mode fall back to the closure path
+// (both are off the measured configuration, as in the paper's evaluation).
+func (rt *Runtime) DelegateCall(set uint64, tr Trampoline, p1, p2 unsafe.Pointer) int {
+	if rt.terminated {
+		panic("prometheus: Delegate after Terminate")
+	}
+	if rt.traceSt != nil || rt.rec != nil {
+		return rt.Delegate(set, func(ctx int) { tr(ctx, p1, p2) })
+	}
+	if rt.cfg.Sequential {
+		rt.stats.InlineExecs++
+		tr(ProgramContext, p1, p2)
+		return ProgramContext
+	}
+	ctx := rt.assign(set)
+	if ctx == ProgramContext {
+		rt.stats.InlineExecs++
+		tr(ProgramContext, p1, p2)
+		return ctx
+	}
+	rt.stats.Delegations++
+	rt.enqueue(ctx, Invocation{kind: kindMethod, set: set, tramp: tr, p1: p1, p2: p2})
 	return ctx
 }
 
@@ -274,12 +407,13 @@ func (rt *Runtime) SyncContext(ctx int) {
 	if ctx < 1 || ctx > len(rt.delegates) {
 		panic(fmt.Sprintf("prometheus: SyncContext(%d) out of range", ctx))
 	}
+	rt.flushBatch()
 	if !rt.dirty[ctx-1] {
 		return
 	}
 	rt.stats.Syncs++
 	done := make(chan struct{})
-	rt.delegates[ctx-1].queue.Push(&Invocation{kind: kindSync, done: done})
+	rt.delegates[ctx-1].queue.Push(Invocation{kind: kindSync, done: done})
 	<-done
 	rt.dirty[ctx-1] = false
 }
@@ -307,13 +441,14 @@ func (rt *Runtime) barrier() {
 		rt.recBarrier()
 		return
 	}
+	rt.flushBatch()
 	dones := make([]chan struct{}, 0, len(rt.delegates))
 	for i, d := range rt.delegates {
 		if !rt.dirty[i] {
 			continue
 		}
 		done := make(chan struct{})
-		d.queue.Push(&Invocation{kind: kindSync, done: done})
+		d.queue.Push(Invocation{kind: kindSync, done: done})
 		dones = append(dones, done)
 	}
 	for _, done := range dones {
@@ -355,16 +490,17 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 		for i, t := range tasks {
 			d := rt.rec.delegates[i%len(rt.rec.delegates)]
 			rt.rec.enqueued.Add(1)
-			d.lanes[ProgramContext].Push(&Invocation{kind: kindMethod, fn: func(ctx int) { t(ctx) }})
+			d.lanes[ProgramContext].Push(Invocation{kind: kindMethod, fn: t})
 			d.signal()
 		}
 		rt.recBarrier()
 		return
 	}
+	rt.flushBatch()
 	for i, t := range tasks {
 		d := rt.delegates[i%len(rt.delegates)]
 		rt.dirty[d.id-1] = true
-		d.queue.Push(&Invocation{kind: kindMethod, fn: t})
+		d.queue.Push(Invocation{kind: kindMethod, fn: t})
 	}
 	rt.barrier()
 }
@@ -403,9 +539,10 @@ func (rt *Runtime) Terminate() {
 		rt.clock.switchTo(PhaseAggregation, &rt.stats)
 		return
 	}
+	rt.flushBatch()
 	for _, d := range rt.delegates {
 		done := make(chan struct{})
-		d.queue.Push(&Invocation{kind: kindTerminate, done: done})
+		d.queue.Push(Invocation{kind: kindTerminate, done: done})
 		<-done
 		d.queue.Close()
 	}

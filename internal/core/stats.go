@@ -30,11 +30,13 @@ func (p Phase) String() string {
 // used to regenerate Figure 5a. All fields are maintained by the program
 // context; delegated code never touches them.
 type Stats struct {
-	Delegations uint64 // operations sent to delegate contexts
-	InlineExecs uint64 // operations executed inline in the program context
-	Syncs       uint64 // ownership reclaims (synchronization objects)
-	Barriers    uint64 // full-runtime barriers (EndIsolation, Sleep)
-	Epochs      uint64 // isolation epochs begun
+	Delegations  uint64 // operations sent to delegate contexts
+	InlineExecs  uint64 // operations executed inline in the program context
+	Syncs        uint64 // ownership reclaims (synchronization objects)
+	Barriers     uint64 // full-runtime barriers (EndIsolation, Sleep)
+	Epochs       uint64 // isolation epochs begun
+	BatchFlushes uint64 // delegation-buffer flushes (batches delivered)
+	BatchedOps   uint64 // delegations delivered through the batch buffer
 
 	Aggregation time.Duration
 	Isolation   time.Duration

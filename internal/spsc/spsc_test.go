@@ -1,6 +1,8 @@
 package spsc
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -8,16 +10,15 @@ import (
 
 func TestPushPopSingle(t *testing.T) {
 	q := NewQueue[int](4)
-	v := 42
-	if !q.TryPush(&v) {
+	if !q.TryPush(42) {
 		t.Fatal("TryPush failed on empty queue")
 	}
-	got := q.TryPop()
-	if got == nil || *got != 42 {
-		t.Fatalf("TryPop = %v, want 42", got)
+	got, ok := q.TryPop()
+	if !ok || got != 42 {
+		t.Fatalf("TryPop = %v, %v, want 42", got, ok)
 	}
-	if q.TryPop() != nil {
-		t.Fatal("TryPop on empty queue should return nil")
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue should report !ok")
 	}
 }
 
@@ -33,28 +34,54 @@ func TestCapacityRoundsUp(t *testing.T) {
 
 func TestFullQueueRejectsTryPush(t *testing.T) {
 	q := NewQueue[int](2)
-	a, b, c := 1, 2, 3
-	if !q.TryPush(&a) || !q.TryPush(&b) {
+	if !q.TryPush(1) || !q.TryPush(2) {
 		t.Fatal("queue of capacity 2 should accept 2 items")
 	}
-	if q.TryPush(&c) {
+	if q.TryPush(3) {
 		t.Fatal("full queue should reject TryPush")
 	}
-	if got := q.TryPop(); got == nil || *got != 1 {
-		t.Fatalf("FIFO violated: got %v, want 1", got)
+	if got, ok := q.TryPop(); !ok || got != 1 {
+		t.Fatalf("FIFO violated: got %v, %v, want 1", got, ok)
 	}
-	if !q.TryPush(&c) {
+	if !q.TryPush(3) {
 		t.Fatal("queue should accept after a pop")
 	}
 }
 
-func TestPushNilPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("TryPush(nil) should panic")
+func TestCapacityOne(t *testing.T) {
+	// The odd/even lap-stamp encoding keeps capacity 1 unambiguous: a
+	// written slot (odd stamp) can never look free (even stamp).
+	q := NewQueue[int](1)
+	for lap := 0; lap < 10; lap++ {
+		if !q.TryPush(lap) {
+			t.Fatalf("lap %d: push failed on empty cap-1 queue", lap)
 		}
-	}()
-	NewQueue[int](2).TryPush(nil)
+		if q.TryPush(99) {
+			t.Fatalf("lap %d: full cap-1 queue accepted a push", lap)
+		}
+		got, ok := q.TryPop()
+		if !ok || got != lap {
+			t.Fatalf("lap %d: pop = %v, %v", lap, got, ok)
+		}
+	}
+}
+
+func TestZeroValuesAreLegal(t *testing.T) {
+	// The value ring has no nil-as-empty restriction: zero values (and nil
+	// pointers) are ordinary payloads.
+	q := NewQueue[*int](2)
+	if !q.TryPush(nil) {
+		t.Fatal("TryPush(nil) should succeed on a value ring")
+	}
+	got, ok := q.TryPop()
+	if !ok || got != nil {
+		t.Fatalf("TryPop = %v, %v, want nil, true", got, ok)
+	}
+	qi := NewQueue[int](2)
+	qi.Push(0)
+	if v, ok := qi.TryPop(); !ok || v != 0 {
+		t.Fatalf("zero int round-trip = %v, %v", v, ok)
+	}
 }
 
 func TestWraparound(t *testing.T) {
@@ -62,13 +89,13 @@ func TestWraparound(t *testing.T) {
 	for round := 0; round < 100; round++ {
 		vals := []int{round * 3, round*3 + 1, round*3 + 2}
 		for i := range vals {
-			if !q.TryPush(&vals[i]) {
+			if !q.TryPush(vals[i]) {
 				t.Fatalf("round %d: push %d failed", round, i)
 			}
 		}
 		for i := range vals {
-			got := q.TryPop()
-			if got == nil || *got != vals[i] {
+			got, ok := q.TryPop()
+			if !ok || got != vals[i] {
 				t.Fatalf("round %d: pop %d = %v, want %d", round, i, got, vals[i])
 			}
 		}
@@ -77,18 +104,17 @@ func TestWraparound(t *testing.T) {
 
 func TestCloseDrains(t *testing.T) {
 	q := NewQueue[int](8)
-	a, b := 1, 2
-	q.Push(&a)
-	q.Push(&b)
+	q.Push(1)
+	q.Push(2)
 	q.Close()
-	if got := q.Pop(); got == nil || *got != 1 {
-		t.Fatalf("Pop after close = %v, want 1", got)
+	if got, ok := q.Pop(); !ok || got != 1 {
+		t.Fatalf("Pop after close = %v, %v, want 1", got, ok)
 	}
-	if got := q.Pop(); got == nil || *got != 2 {
-		t.Fatalf("Pop after close = %v, want 2", got)
+	if got, ok := q.Pop(); !ok || got != 2 {
+		t.Fatalf("Pop after close = %v, %v, want 2", got, ok)
 	}
-	if got := q.Pop(); got != nil {
-		t.Fatalf("Pop on drained closed queue = %v, want nil", got)
+	if got, ok := q.Pop(); ok {
+		t.Fatalf("Pop on drained closed queue = %v, want !ok", got)
 	}
 }
 
@@ -97,9 +123,8 @@ func TestLenAndEmpty(t *testing.T) {
 	if !q.Empty() || q.Len() != 0 {
 		t.Fatal("new queue should be empty")
 	}
-	vals := []int{1, 2, 3}
-	for i := range vals {
-		q.Push(&vals[i])
+	for _, v := range []int{1, 2, 3} {
+		q.Push(v)
 	}
 	if q.Empty() || q.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", q.Len())
@@ -108,6 +133,123 @@ func TestLenAndEmpty(t *testing.T) {
 	if q.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", q.Len())
 	}
+}
+
+// TestLenExactFromEachSide verifies the O(1) counter-based Len is exact when
+// observed from the quiescent side: after every producer push (consumer
+// idle) and after every consumer pop (producer idle), across wraparound.
+func TestLenExactFromEachSide(t *testing.T) {
+	q := NewQueue[int](4)
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < 4; i++ {
+			q.Push(i)
+			if got := q.Len(); got != i+1 {
+				t.Fatalf("lap %d: Len after %d pushes = %d", lap, i+1, got)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if _, ok := q.TryPop(); !ok {
+				t.Fatalf("lap %d: pop %d failed", lap, i)
+			}
+			if got := q.Len(); got != 3-i {
+				t.Fatalf("lap %d: Len after %d pops = %d", lap, i+1, got)
+			}
+		}
+	}
+}
+
+// TestPushBatch covers batch insertion: FIFO order across batch boundaries,
+// wraparound, and Len published once per batch.
+func TestPushBatch(t *testing.T) {
+	q := NewQueue[int](8)
+	q.PushBatch([]int{0, 1, 2})
+	if got := q.Len(); got != 3 {
+		t.Fatalf("Len after batch = %d, want 3", got)
+	}
+	q.PushBatch([]int{3, 4})
+	for want := 0; want < 5; want++ {
+		got, ok := q.TryPop()
+		if !ok || got != want {
+			t.Fatalf("pop = %v, %v, want %d", got, ok, want)
+		}
+	}
+	// Wraparound: cycle batches through a small ring many times.
+	next := 0
+	for round := 0; round < 50; round++ {
+		q.PushBatch([]int{next, next + 1, next + 2})
+		for i := 0; i < 3; i++ {
+			got, ok := q.TryPop()
+			if !ok || got != next {
+				t.Fatalf("round %d: pop = %v, %v, want %d", round, got, ok, next)
+			}
+			next++
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty after balanced batches")
+	}
+}
+
+// TestPushBatchLargerThanCapacity exercises the blocking fallback: a batch
+// bigger than the ring must still deliver every value in order while a
+// consumer drains concurrently, parking and waking both sides.
+func TestPushBatchLargerThanCapacity(t *testing.T) {
+	const batch = 64
+	const n = batch * 800
+	q := NewQueue[int](8) // far smaller than the batch: forces the full path
+	done := make(chan error, 1)
+	go func() {
+		next := 0
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if v != next {
+				done <- fmt.Errorf("out of order: got %d, want %d", v, next)
+				return
+			}
+			next++
+		}
+		if next != n {
+			done <- fmt.Errorf("received %d items, want %d", next, n)
+			return
+		}
+		done <- nil
+	}()
+	buf := make([]int, batch)
+	for i := 0; i < n; i += batch {
+		for j := range buf {
+			buf[j] = i + j
+		}
+		q.PushBatch(buf)
+	}
+	q.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchWakesParkedConsumer pins the park/wake protocol under batching: a
+// consumer parked on an empty queue must be woken by the single end-of-batch
+// signal.
+func TestBatchWakesParkedConsumer(t *testing.T) {
+	q := NewQueue[int](64)
+	got := make(chan int)
+	go func() {
+		// Park: nothing is in the queue yet.
+		v, _ := q.Pop()
+		got <- v
+	}()
+	// Wait for the consumer to spin out and park, then batch.
+	for q.consumerSleep.Load() != sleeping {
+		runtime.Gosched()
+	}
+	q.PushBatch([]int{41, 42})
+	if v := <-got; v != 41 {
+		t.Fatalf("parked consumer woke with %d, want 41", v)
+	}
+	q.Close()
 }
 
 // TestFIFOOrderConcurrent is the core correctness property: with one
@@ -121,19 +263,18 @@ func TestFIFOOrderConcurrent(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			v := i
-			q.Push(&v)
+			q.Push(i)
 		}
 		q.Close()
 	}()
 	next := 0
 	for {
-		v := q.Pop()
-		if v == nil {
+		v, ok := q.Pop()
+		if !ok {
 			break
 		}
-		if *v != next {
-			t.Fatalf("out of order: got %d, want %d", *v, next)
+		if v != next {
+			t.Fatalf("out of order: got %d, want %d", v, next)
 		}
 		next++
 	}
@@ -152,23 +293,87 @@ func TestBlockingPushWakesParkedConsumer(t *testing.T) {
 	go func() {
 		sum := 0
 		for {
-			v := q.Pop()
-			if v == nil {
+			v, ok := q.Pop()
+			if !ok {
 				break
 			}
-			sum += *v
+			sum += v
 		}
 		done <- sum
 	}()
 	want := 0
 	for i := 0; i < n; i++ {
-		v := i
 		want += i
-		q.Push(&v)
+		q.Push(i)
 	}
 	q.Close()
 	if got := <-done; got != want {
 		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestRaceStress drives a mixed Push/PushBatch producer against a Pop
+// consumer while a third goroutine hammers Len/Empty, so the race detector
+// can check every shared access pattern the runtime uses (`go test -race`).
+func TestRaceStress(t *testing.T) {
+	const n = 20000
+	q := NewQueue[int](16)
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if l := q.Len(); l < 0 || l > q.Cap() {
+				t.Errorf("Len out of range: %d", l)
+				return
+			}
+			q.Empty()
+			runtime.Gosched() // don't starve the transfer on GOMAXPROCS=1
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]int, 0, 8)
+		i := 0
+		for i < n {
+			if i%3 == 0 {
+				buf = buf[:0]
+				for j := 0; j < 5 && i < n; j++ {
+					buf = append(buf, i)
+					i++
+				}
+				q.PushBatch(buf)
+			} else {
+				q.Push(i)
+				i++
+			}
+		}
+		q.Close()
+	}()
+	next := 0
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v != next {
+			t.Fatalf("out of order: got %d, want %d", v, next)
+		}
+		next++
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	if next != n {
+		t.Fatalf("received %d items, want %d", next, n)
 	}
 }
 
@@ -183,19 +388,19 @@ func TestQuickSequences(t *testing.T) {
 			if isPush && vi < len(vals) {
 				v := vals[vi]
 				vi++
-				if q.TryPush(&v) {
+				if q.TryPush(v) {
 					model = append(model, v)
 				} else if len(model) != q.Cap() {
 					return false // rejected while model says not full
 				}
 			} else {
-				got := q.TryPop()
+				got, ok := q.TryPop()
 				if len(model) == 0 {
-					if got != nil {
+					if ok {
 						return false
 					}
 				} else {
-					if got == nil || *got != model[0] {
+					if !ok || got != model[0] {
 						return false
 					}
 					model = model[1:]
@@ -213,15 +418,87 @@ func BenchmarkPingPong(b *testing.B) {
 	q := NewQueue[int](1024)
 	done := make(chan struct{})
 	go func() {
-		for q.Pop() != nil {
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
 		}
 		close(done)
 	}()
-	v := 7
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q.Push(&v)
+		q.Push(7)
 	}
 	q.Close()
 	<-done
+}
+
+// BenchmarkSPSC measures the raw substrate: single-value pushes vs batched
+// pushes of invocation-sized records, the numbers behind the delegation
+// hot-path design.
+func BenchmarkSPSC(b *testing.B) {
+	type invRecord struct {
+		kind uint8
+		set  uint64
+		a, b uintptr
+		fn   func(int)
+		done chan struct{}
+	}
+	b.Run("push-pop-value", func(b *testing.B) {
+		b.ReportAllocs()
+		q := NewQueue[invRecord](1024)
+		done := make(chan struct{})
+		go func() {
+			for {
+				if _, ok := q.Pop(); !ok {
+					break
+				}
+			}
+			close(done)
+		}()
+		rec := invRecord{set: 42}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Push(rec)
+		}
+		q.Close()
+		<-done
+	})
+	for _, batch := range []int{8, 64} {
+		b.Run(fmt.Sprintf("push-batch-%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			q := NewQueue[invRecord](1024)
+			done := make(chan struct{})
+			go func() {
+				for {
+					if _, ok := q.Pop(); !ok {
+						break
+					}
+				}
+				close(done)
+			}()
+			buf := make([]invRecord, batch)
+			for i := range buf {
+				buf[i] = invRecord{set: uint64(i)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				q.PushBatch(buf)
+			}
+			q.Close()
+			<-done
+		})
+	}
+	b.Run("len", func(b *testing.B) {
+		q := NewQueue[invRecord](1024)
+		for i := 0; i < 100; i++ {
+			q.Push(invRecord{})
+		}
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n += q.Len()
+		}
+		_ = n
+	})
 }

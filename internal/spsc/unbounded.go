@@ -3,12 +3,13 @@ package spsc
 import "sync/atomic"
 
 // Unbounded is an unbounded lock-free SPSC queue (a Vyukov-style linked
-// list). The recursive-delegation extension uses it for its per-producer
-// lanes: a delegate may delegate to a set it itself owns, and with a
-// bounded queue the push could block on a lane only the pushing context
-// can drain — a self-deadlock. Unbounded lanes make recursive delegation
-// deadlock-free by construction, trading the FastForward queue's cache
-// behaviour for safety on a path where operations are coarse anyway.
+// list) carrying T values in its nodes. The recursive-delegation extension
+// uses it for its per-producer lanes: a delegate may delegate to a set it
+// itself owns, and with a bounded queue the push could block on a lane only
+// the pushing context can drain — a self-deadlock. Unbounded lanes make
+// recursive delegation deadlock-free by construction, trading the bounded
+// ring's zero-allocation behaviour for safety on a path where operations
+// are coarse anyway (one node allocation per push, value stored inline).
 type Unbounded[T any] struct {
 	head *unode[T] // consumer-private
 	tail *unode[T] // producer-private
@@ -16,7 +17,7 @@ type Unbounded[T any] struct {
 
 type unode[T any] struct {
 	next atomic.Pointer[unode[T]]
-	val  *T
+	val  T
 }
 
 // NewUnbounded returns an empty queue.
@@ -26,22 +27,24 @@ func NewUnbounded[T any]() *Unbounded[T] {
 }
 
 // Push appends v. Never blocks. Producer-only.
-func (q *Unbounded[T]) Push(v *T) {
+func (q *Unbounded[T]) Push(v T) {
 	n := &unode[T]{val: v}
 	q.tail.next.Store(n)
 	q.tail = n
 }
 
-// TryPop removes the next value, or returns nil if empty. Consumer-only.
-func (q *Unbounded[T]) TryPop() *T {
+// TryPop removes and returns the next value; ok is false if the queue is
+// empty. Consumer-only.
+func (q *Unbounded[T]) TryPop() (T, bool) {
+	var zero T
 	next := q.head.next.Load()
 	if next == nil {
-		return nil
+		return zero, false
 	}
 	v := next.val
-	next.val = nil // release for GC
+	next.val = zero // release for GC
 	q.head = next
-	return v
+	return v, true
 }
 
 // Empty reports whether the queue appears empty to the consumer.

@@ -7,24 +7,24 @@ import (
 
 func TestUnboundedFIFO(t *testing.T) {
 	q := NewUnbounded[int]()
-	if !q.Empty() || q.TryPop() != nil {
+	if _, ok := q.TryPop(); !q.Empty() || ok {
 		t.Fatal("new queue should be empty")
 	}
 	vals := []int{1, 2, 3, 4, 5}
 	for i := range vals {
-		q.Push(&vals[i])
+		q.Push(vals[i])
 	}
 	if q.Empty() {
 		t.Fatal("queue with items reports empty")
 	}
 	for i := range vals {
-		got := q.TryPop()
-		if got == nil || *got != vals[i] {
-			t.Fatalf("pop %d = %v, want %d", i, got, vals[i])
+		got, ok := q.TryPop()
+		if !ok || got != vals[i] {
+			t.Fatalf("pop %d = %v, %v, want %d", i, got, ok, vals[i])
 		}
 	}
-	if q.TryPop() != nil {
-		t.Fatal("drained queue should pop nil")
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("drained queue should report !ok")
 	}
 }
 
@@ -32,12 +32,14 @@ func TestUnboundedNeverBlocks(t *testing.T) {
 	// The deadlock-freedom property recursive delegation relies on: a
 	// producer can push any number of items with no consumer at all.
 	q := NewUnbounded[int]()
-	v := 7
 	for i := 0; i < 100000; i++ {
-		q.Push(&v)
+		q.Push(7)
 	}
 	n := 0
-	for q.TryPop() != nil {
+	for {
+		if _, ok := q.TryPop(); !ok {
+			break
+		}
 		n++
 	}
 	if n != 100000 {
@@ -53,18 +55,17 @@ func TestUnboundedConcurrent(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			v := i
-			q.Push(&v)
+			q.Push(i)
 		}
 	}()
 	next := 0
 	for next < n {
-		v := q.TryPop()
-		if v == nil {
+		v, ok := q.TryPop()
+		if !ok {
 			continue
 		}
-		if *v != next {
-			t.Fatalf("out of order: got %d, want %d", *v, next)
+		if v != next {
+			t.Fatalf("out of order: got %d, want %d", v, next)
 		}
 		next++
 	}

@@ -72,6 +72,16 @@ func WithProgramShare(n int) Option { return func(c *core.Config) { c.ProgramSha
 // WithQueueCapacity sets the per-delegate communication queue capacity.
 func WithQueueCapacity(n int) Option { return func(c *core.Config) { c.QueueCapacity = n } }
 
+// WithDelegateBatch bounds the program context's delegation buffer: runs of
+// up to n consecutive delegations bound for the same busy delegate are
+// written to its queue as one batch with a single wake-up signal. n = 1
+// disables batching. Operations are never buffered while the target
+// delegate has no backlog, the buffer flushes as soon as the delegate is
+// observed drained, and every synchronization point (sync, barrier, epoch
+// transition, termination) flushes first — so a buffered operation waits at
+// most until the program context's next delegation or runtime call.
+func WithDelegateBatch(n int) Option { return func(c *core.Config) { c.DelegateBatch = n } }
+
 // WithPolicy selects the delegate-assignment policy.
 func WithPolicy(p SchedPolicy) Option { return func(c *core.Config) { c.Policy = p } }
 
@@ -171,8 +181,3 @@ func (rt *Runtime) Checked() bool { return rt.checked }
 // nextInstance issues wrapper instance numbers (the sequence serializer's
 // identity source).
 func (rt *Runtime) nextInstance() uint64 { return rt.instance.Add(1) - 1 }
-
-// delegate forwards to the engine, translating context ids to *Ctx.
-func (rt *Runtime) delegate(set uint64, fn func(c *Ctx)) int {
-	return rt.core.Delegate(set, func(id int) { fn(&rt.ctxs[id]) })
-}

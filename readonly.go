@@ -1,5 +1,11 @@
 package prometheus
 
+import (
+	"unsafe"
+
+	"repro/internal/core"
+)
+
 // Hasher lets checked mode detect writes through read-only wrappers: if the
 // wrapped type implements Hasher, ReadOnly.Call fingerprints the object
 // before and after the callback and panics on change.
@@ -15,11 +21,35 @@ type ReadOnly[T any] struct {
 	rt       *Runtime
 	obj      T
 	instance uint64
+	// tramp is the wrapper type's static delegation trampoline, bound once
+	// at construction so Delegate builds no closure per call.
+	tramp core.Trampoline
+}
+
+// readOnlyTramp is the ReadOnly delegation trampoline: p1 is the wrapper,
+// p2 the user callback's funcval pointer.
+func readOnlyTramp[T any](ctx int, p1, p2 unsafe.Pointer) {
+	r := (*ReadOnly[T])(p1)
+	fn := ptrFunc[func(*Ctx, *T)](p2)
+	fn(&r.rt.ctxs[ctx], &r.obj)
 }
 
 // NewReadOnly wraps obj as read-only shared data.
 func NewReadOnly[T any](rt *Runtime, obj T) *ReadOnly[T] {
-	return &ReadOnly[T]{rt: rt, obj: obj, instance: rt.nextInstance()}
+	return &ReadOnly[T]{rt: rt, obj: obj, instance: rt.nextInstance(), tramp: readOnlyTramp[T]}
+}
+
+// Delegate assigns a read-only operation on the shared object to the given
+// serialization set — the read-side counterpart of Writable.DelegateTo, for
+// scans over shared data that feed reducibles from delegate contexts. The
+// callback must not mutate the object; checked mode's Hasher fingerprinting
+// does not extend to delegated reads (the object is concurrently visible to
+// every context, so there is no quiescent point to fingerprint at).
+func (r *ReadOnly[T]) Delegate(set uint64, fn func(c *Ctx, obj *T)) {
+	if !r.rt.core.InIsolation() {
+		raise(ErrAPIMisuse, "Delegate outside an isolation epoch")
+	}
+	r.rt.core.DelegateCall(set, r.tramp, unsafe.Pointer(r), funcPtr(fn))
 }
 
 // Get returns the shared read view. The pointer may be captured by delegated

@@ -1,6 +1,11 @@
 package prometheus
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/core"
+)
 
 // Reducible wraps data whose updates are associative and commutative
 // (paper §2.2, technique 2). Each execution context accumulates into a
@@ -15,16 +20,28 @@ type Reducible[T any] struct {
 	rt      *Runtime
 	factory func() T
 	combine func(dst, src *T)
+	// tramp is the wrapper type's static delegation trampoline, bound once
+	// at construction so Delegate builds no closure per call.
+	tramp core.Trampoline
 	// views are separately heap-allocated so per-context accumulators do
 	// not share cache lines.
 	views []*T
 	dirty atomic.Bool
 }
 
+// reducibleTramp is the Reducible delegation trampoline: p1 is the wrapper,
+// p2 the user callback's funcval pointer; the callback runs against the
+// executing context's private view.
+func reducibleTramp[T any](ctx int, p1, p2 unsafe.Pointer) {
+	r := (*Reducible[T])(p1)
+	fn := ptrFunc[func(*T)](p2)
+	fn(r.views[ctx])
+}
+
 // NewReducible creates a reducible. factory produces an identity view;
 // combine folds src into dst and may destroy src.
 func NewReducible[T any](rt *Runtime, factory func() T, combine func(dst, src *T)) *Reducible[T] {
-	r := &Reducible[T]{rt: rt, factory: factory, combine: combine}
+	r := &Reducible[T]{rt: rt, factory: factory, combine: combine, tramp: reducibleTramp[T]}
 	r.views = make([]*T, rt.NumContexts())
 	for i := range r.views {
 		v := factory()
@@ -53,6 +70,20 @@ func (r *Reducible[T]) View(c *Ctx) *T {
 // Update applies fn to the executing context's view.
 func (r *Reducible[T]) Update(c *Ctx, fn func(view *T)) {
 	fn(r.View(c))
+}
+
+// Delegate assigns an update to the given serialization set; the callback
+// runs against the owning context's private view. Because reducible updates
+// are associative and commutative, any set is sound — pick one that spreads
+// updates across the delegate pool (or ride along with the set of the
+// writable the update is derived from, so it shares that set's context and
+// cache state). Marks the reduction pending.
+func (r *Reducible[T]) Delegate(set uint64, fn func(view *T)) {
+	if !r.rt.core.InIsolation() {
+		raise(ErrAPIMisuse, "Reducible.Delegate outside an isolation epoch")
+	}
+	r.dirty.Store(true)
+	r.rt.core.DelegateCall(set, r.tramp, unsafe.Pointer(r), funcPtr(fn))
 }
 
 // Result reduces (if needed) and returns the final view. It must be called

@@ -1,0 +1,28 @@
+package prometheus
+
+import "unsafe"
+
+// Trampoline plumbing for the zero-allocation delegation fast path.
+//
+// A Go func value is a single pointer word referring to an immutable funcval
+// (the code pointer plus any captured variables, allocated by the caller —
+// or static for non-capturing functions). That lets a wrapper pass the user
+// callback through the runtime as a raw pointer payload and rebuild the
+// callable on the executing context without constructing a closure per
+// delegation: the wrapper type's static trampoline knows the concrete func
+// type to reinterpret the word as. The pointer is carried in an
+// unsafe.Pointer slot of the invocation record, so the GC keeps the funcval
+// (and anything it captures) alive while the operation is in flight.
+
+// funcPtr extracts the funcval pointer from a func value.
+func funcPtr[F any](f F) unsafe.Pointer {
+	return *(*unsafe.Pointer)(unsafe.Pointer(&f))
+}
+
+// ptrFunc rebuilds a func value of type F from a funcval pointer previously
+// produced by funcPtr on the same type.
+func ptrFunc[F any](p unsafe.Pointer) F {
+	var f F
+	*(*unsafe.Pointer)(unsafe.Pointer(&f)) = p
+	return f
+}

@@ -1,5 +1,11 @@
 package prometheus
 
+import (
+	"unsafe"
+
+	"repro/internal/core"
+)
+
 // wstate is the per-epoch state of a Writable wrapper (paper §3.1: "The
 // writable wrapper maintains a state machine that signals an error if the
 // object is treated as read-only and privately-writable in the same
@@ -31,6 +37,9 @@ type Writable[T any] struct {
 	obj      T
 	instance uint64
 	ser      Serializer[T]
+	// tramp is the wrapper type's static delegation trampoline, bound once
+	// at construction so Delegate/DelegateTo build no closure per call.
+	tramp core.Trampoline
 
 	// Per-epoch state, versioned lazily by epoch tag.
 	epoch       uint64
@@ -39,6 +48,15 @@ type Writable[T any] struct {
 	hasSet      bool
 	ownerCtx    int
 	outstanding bool // delegations not yet synchronized
+}
+
+// writableTramp is the Writable delegation trampoline: one instantiation
+// per wrapped type, shared by every wrapper and every call. p1 is the
+// wrapper, p2 the user callback's funcval pointer.
+func writableTramp[T any](ctx int, p1, p2 unsafe.Pointer) {
+	w := (*Writable[T])(p1)
+	fn := ptrFunc[func(*Ctx, *T)](p2)
+	fn(&w.rt.ctxs[ctx], &w.obj)
 }
 
 // NewWritable wraps obj with the sequence serializer (the common case: each
@@ -50,7 +68,10 @@ func NewWritable[T any](rt *Runtime, obj T) *Writable[T] {
 // NewWritableSer wraps obj with an explicit serializer (Object, Internal,
 // Null, or any custom function).
 func NewWritableSer[T any](rt *Runtime, obj T, ser Serializer[T]) *Writable[T] {
-	return &Writable[T]{rt: rt, obj: obj, instance: rt.nextInstance(), ser: ser}
+	return &Writable[T]{
+		rt: rt, obj: obj, instance: rt.nextInstance(), ser: ser,
+		tramp: writableTramp[T],
+	}
 }
 
 // Instance returns the wrapper's instance number (the sequence serializer's
@@ -102,7 +123,7 @@ func (w *Writable[T]) DelegateTo(set uint64, fn func(c *Ctx, obj *T)) {
 	w.set = set
 	w.hasSet = true
 	w.outstanding = true
-	w.ownerCtx = rt.delegate(set, func(c *Ctx) { fn(c, &w.obj) })
+	w.ownerCtx = rt.core.DelegateCall(set, w.tramp, unsafe.Pointer(w), funcPtr(fn))
 }
 
 // Call performs a dependent operation on the object in the program context

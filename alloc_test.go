@@ -106,6 +106,55 @@ func TestReadOnlyDelegateZeroAlloc(t *testing.T) {
 	})
 }
 
+func TestStealingDelegateZeroAlloc(t *testing.T) {
+	// The stealing-enabled LeastLoaded hot path — owner-table read, occupancy
+	// check against the executed counter, position bump through the entry
+	// pointer, ring write — must stay allocation-free. AllocsPerRun reads the
+	// process-wide malloc counters, so this also pins the delegate-side
+	// batched drain loop (running concurrently on the consumer) at zero
+	// steady-state allocations.
+	rt := prometheus.Init(prometheus.WithDelegates(2),
+		prometheus.WithPolicy(prometheus.LeastLoaded),
+		prometheus.WithStealing(), prometheus.WithStealThreshold(1))
+	defer rt.Terminate()
+	w := prometheus.NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	for i := 0; i < allocWarmup; i++ {
+		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	}
+	requireZeroAllocs(t, "Stealing Writable.Delegate", func() {
+		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}
+
+func TestStealRebalanceZeroAlloc(t *testing.T) {
+	// Same gate with enough sets and backpressure that handoffs actually
+	// fire during the measured window: a steal is a pointer-field update on
+	// an existing owner-table entry, never a map insert or heap allocation.
+	rt := prometheus.Init(prometheus.WithDelegates(2),
+		prometheus.WithPolicy(prometheus.LeastLoaded),
+		prometheus.WithStealing(), prometheus.WithStealThreshold(2))
+	defer rt.Terminate()
+	objs := make([]*prometheus.Writable[int], 8)
+	for i := range objs {
+		objs[i] = prometheus.NewWritable(rt, 0)
+	}
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	spin := func(c *prometheus.Ctx, p *int) {
+		for j := 0; j < 64; j++ {
+			*p++
+		}
+	}
+	for i := 0; i < allocWarmup/8; i++ {
+		prometheus.DoAll(objs, spin)
+	}
+	requireZeroAllocs(t, "stealing rebalance DoAll", func() {
+		prometheus.DoAll(objs, spin)
+	})
+}
+
 func TestSequentialInlineZeroAlloc(t *testing.T) {
 	// Debug mode runs the same trampoline inline; it must be free too.
 	rt := prometheus.Init(prometheus.Sequential())

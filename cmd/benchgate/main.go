@@ -1,0 +1,193 @@
+// Command benchgate is the CI regression gate for the delegation hot path:
+// it reads `go test -bench` output on stdin, extracts the
+// BenchmarkDelegateOverhead variants, and compares them against the numbers
+// recorded in a PR benchmark baseline (BENCH_PR1.json's
+// delegate_overhead_variants_after table). It exits nonzero when a variant
+// regresses by more than -max-regress-pct, or when a 0 allocs/op variant
+// starts allocating.
+//
+// Raw ns/op is not portable across machines, so -normalize names a canary
+// variant (sequential-inline: one trampoline call, no queues, no goroutines
+// — pure single-thread machine speed): each variant is compared as a ratio
+// to the canary, current vs baseline, which cancels the host's clock out of
+// the gate while still catching hot-path regressions. Without -normalize the
+// comparison is absolute, for runs on the machine that produced the
+// baseline.
+//
+// Repeated benchmark lines for one variant (go test -count=N) are reduced to
+// their minimum, the standard noise suppression for throughput numbers.
+//
+//	go test -run=NONE -bench BenchmarkDelegateOverhead -benchmem -count=3 . |
+//	  go run ./cmd/benchgate -baseline BENCH_PR1.json -normalize sequential-inline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the slice of the BENCH_PR*.json schema the gate
+// reads; unknown fields are ignored.
+type baselineFile struct {
+	PR       int                        `json:"pr"`
+	Variants map[string]baselineVariant `json:"delegate_overhead_variants_after"`
+}
+
+type baselineVariant struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"B_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type measured struct {
+	nsOp     float64
+	allocsOp float64
+	haveMem  bool
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkDelegateOverhead/writable-8  20000000  91.26 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+func parseBench(name string, known map[string]baselineVariant) (variant string, ok bool) {
+	const prefix = "BenchmarkDelegateOverhead/"
+	if !strings.HasPrefix(name, prefix) {
+		return "", false
+	}
+	v := strings.TrimPrefix(name, prefix)
+	// On GOMAXPROCS>1 hosts go test appends a -N tag; prefer an exact
+	// baseline match (variant names may themselves end in a number, e.g.
+	// writable-spread-4) and only then try stripping the tag.
+	if _, exact := known[v]; exact {
+		return v, true
+	}
+	if i := strings.LastIndex(v, "-"); i > 0 {
+		if _, err := strconv.Atoi(v[i+1:]); err == nil {
+			v = v[:i]
+		}
+	}
+	return v, true
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR1.json", "baseline JSON with delegate_overhead_variants_after")
+		maxRegress   = flag.Float64("max-regress-pct", 10, "fail when a variant is this much slower than baseline")
+		normalize    = flag.String("normalize", "", "canary variant to ratio both sides against (portable gate)")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+	if len(base.Variants) == 0 {
+		fatalf("baseline %s has no delegate_overhead_variants_after table", *baselinePath)
+	}
+
+	got := map[string]measured{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the CI log
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		variant, ok := parseBench(m[1], base.Variants)
+		if !ok {
+			continue
+		}
+		cur, ok := parseMetrics(m[2])
+		if !ok {
+			continue
+		}
+		if prev, seen := got[variant]; !seen || cur.nsOp < prev.nsOp {
+			got[variant] = cur
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+	if len(got) == 0 {
+		fatalf("no BenchmarkDelegateOverhead results on stdin — did the bench run?")
+	}
+
+	canaryScale := 1.0
+	if *normalize != "" {
+		cur, okCur := got[*normalize]
+		baseV, okBase := base.Variants[*normalize]
+		if !okCur || !okBase {
+			fatalf("normalize variant %q missing (measured: %v, baseline: %v)", *normalize, okCur, okBase)
+		}
+		canaryScale = baseV.NsOp / cur.nsOp
+	}
+
+	failed := false
+	for variant, baseV := range base.Variants {
+		cur, ok := got[variant]
+		if !ok {
+			// A missing variant means the bench run was cut short (panic,
+			// deadlock kill, filter typo) — an unmeasured gate must not pass.
+			fmt.Printf("benchgate: variant %q in baseline but not measured [FAIL]\n", variant)
+			failed = true
+			continue
+		}
+		effective := cur.nsOp * canaryScale
+		deltaPct := 100 * (effective - baseV.NsOp) / baseV.NsOp
+		status := "ok"
+		if variant != *normalize && deltaPct > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchgate: %-20s baseline %8.2f ns/op, measured %8.2f (scaled %8.2f), delta %+6.1f%% [%s]\n",
+			variant, baseV.NsOp, cur.nsOp, effective, deltaPct, status)
+		if cur.haveMem && cur.allocsOp > baseV.AllocsOp {
+			fmt.Printf("benchgate: %-20s allocs/op %.0f, baseline %.0f [FAIL]\n", variant, cur.allocsOp, baseV.AllocsOp)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Printf("benchgate: FAIL — hot-path regression beyond %.0f%% vs %s (PR %d baseline)\n",
+			*maxRegress, *baselinePath, base.PR)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+// parseMetrics reads the "value unit value unit ..." tail of a bench row.
+func parseMetrics(tail string) (measured, bool) {
+	fields := strings.Fields(tail)
+	var m measured
+	okNs := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return m, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.nsOp, okNs = v, true
+		case "allocs/op":
+			m.allocsOp, m.haveMem = v, true
+		}
+	}
+	return m, okNs
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -91,6 +91,40 @@
 //     operation waits at most until the program context's next delegation
 //     or runtime call.
 //
-// BenchmarkDelegateOverhead and BenchmarkSPSC measure these paths;
-// Runtime.Stats reports delegation, batching, and per-phase time counters.
+//   - Delegates consume in batches too: each wake pops a run of ring slots
+//     (up to 64) and executes them back to back, publishing consumer
+//     progress and the producer wake-up once per run rather than once per
+//     operation. A backlogged delegate therefore drains at memcpy-plus-call
+//     speed, which also keeps the producer out of its queue-full slow path.
+//
+// # Load balancing
+//
+// The LeastLoaded policy assigns a serialization set to the delegate with
+// the shortest queue at the set's first delegation of the epoch, and the
+// set then stays sticky to that delegate — per-set program order depends on
+// it. When dependence chains have very uneven lengths, that one-shot choice
+// can strand most of an epoch's work on one delegate while the others idle.
+// WithStealing adds an occupancy-aware rebalancer: when a set's owner has
+// WithStealThreshold or more outstanding operations and the set itself is
+// quiescent (every operation previously delegated to it has finished
+// executing — a safe handoff boundary), the next delegation hands the whole
+// set to the least-occupied delegate, provided that delegate is idle or at
+// most a quarter as loaded as the victim.
+//
+// Whole sets — never individual invocations — are the steal unit. Moving a
+// single queued invocation would let two contexts interleave one set's
+// operations and break the model's ordering guarantee; moving a whole set
+// at a quiescent boundary preserves it by construction: everything
+// delegated to the set before the handoff has completed on the old owner
+// before anything after it is enqueued on the new one. Determinism is
+// unchanged — only placement (which delegate runs a set), never order
+// (which operations run and in what sequence per set), responds to load.
+// The safety check is O(1), riding the same published counters as the
+// scheduler: each delegate exposes an executed count, the program context
+// tracks per-delegate sent counts, and a set is quiescent exactly when its
+// newest operation's position is at or below its owner's executed count.
+//
+// BenchmarkDelegateOverhead, BenchmarkSPSC and BenchmarkCoreDelegateSkewed
+// measure these paths; Runtime.Stats reports delegation, batching,
+// stealing, drain, and per-phase time counters.
 package prometheus

@@ -84,8 +84,8 @@ func TestContextForDoesNotAssign(t *testing.T) {
 	if got := rt.Delegate(11, func(int) {}); got != predicted {
 		t.Fatalf("Delegate placed set on %d, ContextFor predicted %d", got, predicted)
 	}
-	if owner, ok := rt.setOwner[11]; !ok || owner != predicted {
-		t.Fatalf("owner = %d, %v, want %d", owner, ok, predicted)
+	if e, ok := rt.setOwner[11]; !ok || e.ctx != predicted {
+		t.Fatalf("owner = %v, %v, want %d", e, ok, predicted)
 	}
 	rt.EndIsolation()
 }

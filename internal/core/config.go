@@ -12,6 +12,22 @@ import (
 // of that win while bounding how long a buffered operation can wait.
 const DefaultDelegateBatch = 8
 
+// DefaultStealThreshold is the default victim backlog (outstanding
+// operations: sent minus executed) at which the occupancy-aware rebalancer
+// considers handing one of the victim's serialization sets to a less-loaded
+// delegate. Low enough that a skewed epoch rebalances within its first few
+// operations per set, high enough that transient two-or-three-deep queues —
+// normal pipelining — never trigger a handoff.
+const DefaultStealThreshold = 8
+
+// drainBatchSize bounds the delegate-side drain buffer: after each blocking
+// pop, the delegate PopBatches up to this many further invocations and
+// executes them without re-arming the wake machinery. 64 invocation-sized
+// records is 4KB per delegate — enough to amortize the popped-counter and
+// producer-signal stores across deep backlogs without hoarding a large
+// resident buffer.
+const drainBatchSize = 64
+
 // SchedPolicy selects how serialization sets are assigned to delegate
 // contexts.
 type SchedPolicy int
@@ -86,6 +102,22 @@ type Config struct {
 	// Policy selects the delegate-assignment policy.
 	Policy SchedPolicy
 
+	// Stealing enables the occupancy-aware work-stealing extension to the
+	// LeastLoaded policy: when a set's sticky owner has at least
+	// StealThreshold outstanding operations and the set itself is quiescent
+	// (every operation previously delegated to it has executed), the next
+	// delegation hands the whole set off to the delegate with the smallest
+	// occupancy, provided that delegate is idle or at most a quarter as
+	// loaded as the victim. Whole sets — never individual invocations — are
+	// the steal unit, so per-set program order is preserved by construction.
+	// Requires Policy == LeastLoaded; incompatible with Recursive.
+	Stealing bool
+
+	// StealThreshold is the victim backlog (outstanding operations) at which
+	// stealing engages. Default DefaultStealThreshold. Ignored unless
+	// Stealing is set.
+	StealThreshold int
+
 	// Trace enables execution tracing: every delegated-operation execution,
 	// synchronization, and epoch transition is recorded with timestamps
 	// into per-context buffers, retrievable via Runtime.TraceEvents.
@@ -120,6 +152,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DelegateBatch <= 0 {
 		c.DelegateBatch = DefaultDelegateBatch
+	}
+	if c.StealThreshold <= 0 {
+		c.StealThreshold = DefaultStealThreshold
 	}
 	return c
 }

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -35,6 +36,20 @@ const ProgramContext = 0
 type delegate struct {
 	id    int // context id (1-based)
 	queue *spsc.Queue[Invocation]
+
+	// executed publishes how many method invocations this delegate has
+	// finished running (the counter is stored after each invoke returns).
+	// Together with the program context's sent counter it gives the
+	// delegate's true occupancy — queued plus in-flight work — and is the
+	// safety condition for set handoff: a set whose last delegated operation
+	// has position <= executed has nothing pending or running here, so
+	// re-owning it cannot reorder the set.
+	executed atomic.Uint64
+
+	// drainBatches/drainedOps count the batched drains (PopBatch runs) this
+	// delegate performed; aggregated into Stats by the program context.
+	drainBatches atomic.Uint64
+	drainedOps   atomic.Uint64
 }
 
 // Runtime orchestrates parallel execution of delegated operations. All
@@ -74,9 +89,18 @@ type Runtime struct {
 	// instead of paying a buffer write plus a one-element flush per op.
 	lastCtx int
 
-	// setOwner gives the sticky set->context assignment for the
-	// LeastLoaded policy within the current epoch.
-	setOwner map[uint64]int
+	// setOwner gives the sticky set->context assignment for the LeastLoaded
+	// policy within the current epoch. Entries are pointers so the steady
+	// state — re-reading an owned set's entry and bumping its lastPos —
+	// performs one map read and no map write per delegation.
+	setOwner map[uint64]*setEntry
+
+	// sent[d] counts the method invocations the program context has routed
+	// to delegate d+1 (buffered delegations count at buffer time: they are
+	// committed to that queue). sent minus the delegate's executed counter
+	// is its occupancy; per-set positions recorded against sent implement
+	// the safe-handoff check. Program-context private.
+	sent []uint64
 
 	// rec holds the recursive-delegation state (nil unless Config.Recursive).
 	rec *recState
@@ -89,10 +113,28 @@ type Runtime struct {
 	clock phaseClock
 }
 
+// setEntry is the owner-table record of one serialization set under the
+// LeastLoaded policy: the sticky owning context and the per-owner position
+// (that context's sent count) of the set's newest delegated operation. A set
+// is quiescent on its owner — and therefore safe to hand off — once the
+// owner's executed counter has reached lastPos.
+type setEntry struct {
+	ctx     int
+	lastPos uint64
+}
+
 // New creates and starts a runtime (paper: initialize()). The calling
 // goroutine becomes the program context.
 func New(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
+	if cfg.Stealing && !cfg.Sequential {
+		if cfg.Recursive {
+			panic("prometheus: Stealing is incompatible with Recursive (sets must stay single-producer)")
+		}
+		if cfg.Policy != LeastLoaded {
+			panic("prometheus: Stealing requires the LeastLoaded policy")
+		}
+	}
 	rt := &Runtime{
 		cfg:   cfg,
 		vmap:  buildAssignment(cfg),
@@ -100,7 +142,8 @@ func New(cfg Config) *Runtime {
 		clock: newPhaseClock(),
 	}
 	if cfg.Policy == LeastLoaded {
-		rt.setOwner = make(map[uint64]int)
+		rt.setOwner = make(map[uint64]*setEntry)
+		rt.sent = make([]uint64, cfg.Delegates)
 	}
 	if cfg.Trace {
 		rt.traceSt = newTraceState(cfg.Delegates + 1)
@@ -147,23 +190,67 @@ func buildAssignment(cfg Config) []int {
 
 // delegateLoop is the body of a delegate context: repeatedly read invocation
 // objects from the communication queue and execute them (paper §4).
+//
+// The loop is the consumer half of the batching story: one blocking Pop per
+// wake, then runs of up to drainBatchSize invocations popped with PopBatch
+// and executed back to back — without re-arming the park/wake machinery or
+// paying the per-operation popped-counter publish — until the backlog is
+// drained. A saturated delegate therefore touches the shared counters twice
+// per run instead of twice per operation, mirroring PushBatch on the
+// producer side.
 func (rt *Runtime) delegateLoop(d *delegate) {
 	defer rt.wg.Done()
+	buf := make([]Invocation, drainBatchSize)
+	var executed uint64 // method invocations completed; published via d.executed
 	for {
 		inv, ok := d.queue.Pop()
 		if !ok { // queue closed and drained
 			return
 		}
-		switch inv.kind {
-		case kindMethod:
-			inv.invoke(d.id)
-		case kindSync:
-			close(inv.done)
-		case kindTerminate:
-			close(inv.done)
+		if !d.exec(&inv, &executed) {
 			return
 		}
+		for {
+			n := d.queue.PopBatch(buf)
+			if n == 0 {
+				break
+			}
+			d.drainBatches.Add(1)
+			d.drainedOps.Add(uint64(n))
+			for i := 0; i < n; i++ {
+				if !d.exec(&buf[i], &executed) {
+					clear(buf[:n])
+					return
+				}
+			}
+			// Drop payload references so executed invocations don't pin
+			// their closures and payloads until the buffer is refilled.
+			clear(buf[:n])
+		}
 	}
+}
+
+// exec runs one invocation on the delegate and publishes its progress. It
+// returns false when the invocation was a termination object. The executed
+// counter is stored — not added — because the delegate is its only writer;
+// the store after invoke returns is what makes the occupancy and
+// safe-handoff reads on the program context sound: observing executed >= p
+// proves every method invocation up to position p has completed, and the
+// acquire load orders its effects before anything the observer publishes
+// afterwards (in particular a handed-off set's next operation).
+func (d *delegate) exec(inv *Invocation, executed *uint64) bool {
+	switch inv.kind {
+	case kindMethod:
+		inv.invoke(d.id)
+		*executed++
+		d.executed.Store(*executed)
+	case kindSync:
+		close(inv.done)
+	case kindTerminate:
+		close(inv.done)
+		return false
+	}
+	return true
 }
 
 // Config returns the effective configuration.
@@ -196,7 +283,7 @@ func (rt *Runtime) BeginIsolation() {
 		rt.epochStart = timeNow()
 	}
 	if rt.setOwner != nil && len(rt.setOwner) > 0 {
-		rt.setOwner = make(map[uint64]int) // new epoch, new partition
+		rt.setOwner = make(map[uint64]*setEntry) // new epoch, new partition
 	}
 	if rt.rec != nil && rt.rec.setProducer != nil && len(rt.rec.setProducer) > 0 {
 		rt.rec.setProducer = make(map[uint64]int)
@@ -244,8 +331,8 @@ func (rt *Runtime) ContextFor(set uint64) int {
 		return ProgramContext
 	}
 	if rt.cfg.Policy == LeastLoaded {
-		if ctx, ok := rt.setOwner[set]; ok {
-			return ctx
+		if e, ok := rt.setOwner[set]; ok {
+			return e.ctx
 		}
 		return rt.leastLoaded()
 	}
@@ -254,24 +341,88 @@ func (rt *Runtime) ContextFor(set uint64) int {
 
 // assign maps a set to its execution context on the delegation path,
 // recording the sticky owner on first use under LeastLoaded so the set
-// stays on one delegate for the rest of the epoch. Every other policy
-// defers to the pure ContextFor dispatch.
-func (rt *Runtime) assign(set uint64) int {
+// stays on one delegate for the rest of the epoch. The returned entry is
+// non-nil exactly when the set is owner-tracked; callers that enqueue must
+// then record the operation's position with notePosition. Every other
+// policy defers to the pure ContextFor dispatch.
+func (rt *Runtime) assign(set uint64) (int, *setEntry) {
 	if rt.setOwner != nil && !rt.cfg.Sequential {
-		if ctx, ok := rt.setOwner[set]; ok {
-			return ctx
+		if e, ok := rt.setOwner[set]; ok {
+			if rt.cfg.Stealing {
+				rt.maybeSteal(e)
+			}
+			return e.ctx, e
 		}
 		best := rt.leastLoaded()
-		rt.setOwner[set] = best
-		return best
+		e := &setEntry{ctx: best}
+		rt.setOwner[set] = e
+		return best, e
 	}
-	return rt.ContextFor(set)
+	return rt.ContextFor(set), nil
+}
+
+// outstanding returns delegate ctx's occupancy: method invocations routed to
+// it (including any still in the delegation buffer) that have not finished
+// executing. O(1) — one program-private counter minus one atomic load.
+func (rt *Runtime) outstanding(ctx int) uint64 {
+	return rt.sent[ctx-1] - rt.delegates[ctx-1].executed.Load()
+}
+
+// maybeSteal is the occupancy-aware rebalancer, run on every delegation to
+// an owned set when Stealing is on. If the set's owner has a backlog of at
+// least StealThreshold and the set itself is quiescent there (its newest
+// operation has executed, so nothing of it is queued or running), the set —
+// the whole set, never an individual invocation — is handed off to the
+// delegate with the smallest occupancy, provided that thief is idle or at
+// most a quarter as loaded as the victim. The handoff point is a quiescent
+// boundary by construction, so per-set program order is preserved: every
+// operation delegated before the steal has completed on the victim before
+// the first operation after it is enqueued on the thief.
+//
+// The common case — owner below threshold — costs one atomic load and a
+// compare; the O(Delegates) occupancy scan runs only on a loaded owner.
+func (rt *Runtime) maybeSteal(e *setEntry) {
+	v := e.ctx
+	vOut := rt.outstanding(v)
+	if vOut < uint64(rt.cfg.StealThreshold) {
+		return
+	}
+	if e.lastPos > rt.delegates[v-1].executed.Load() {
+		return // the set has work queued or in flight on its owner
+	}
+	thief, tOut := 0, ^uint64(0)
+	for _, d := range rt.delegates {
+		if d.id == v {
+			continue
+		}
+		if o := rt.outstanding(d.id); o < tOut {
+			thief, tOut = d.id, o
+		}
+	}
+	if thief == 0 || tOut*4 > vOut {
+		return // no peer meaningfully less occupied than the victim
+	}
+	e.ctx = thief
+	rt.stats.Steals++
+}
+
+// notePosition records the just-enqueued operation's position against its
+// set's owner entry (no-op for untracked sets). Buffered operations count at
+// buffer time — they are committed to that delegate's queue — so a set with
+// operations still in the delegation buffer can never look quiescent.
+func (rt *Runtime) notePosition(e *setEntry, ctx int) {
+	if e != nil {
+		e.lastPos = rt.sent[ctx-1]
+	}
 }
 
 // enqueue delivers a method invocation to delegate ctx, routing it through
 // the delegation buffer when batching is enabled.
 func (rt *Runtime) enqueue(ctx int, inv Invocation) {
 	rt.dirty[ctx-1] = true
+	if rt.sent != nil {
+		rt.sent[ctx-1]++
+	}
 	d := rt.delegates[ctx-1]
 	if rt.batch == nil {
 		d.queue.Push(inv)
@@ -331,7 +482,7 @@ func (rt *Runtime) Delegate(set uint64, fn func(ctx int)) int {
 		rt.stats.Delegations++
 		return rt.delegateFrom(ProgramContext, set, fn)
 	}
-	ctx := rt.assign(set)
+	ctx, e := rt.assign(set)
 	if ctx == ProgramContext {
 		rt.stats.InlineExecs++
 		fn(ProgramContext)
@@ -339,6 +490,7 @@ func (rt *Runtime) Delegate(set uint64, fn func(ctx int)) int {
 	}
 	rt.stats.Delegations++
 	rt.enqueue(ctx, Invocation{kind: kindMethod, set: set, fn: fn})
+	rt.notePosition(e, ctx)
 	return ctx
 }
 
@@ -360,7 +512,7 @@ func (rt *Runtime) DelegateCall(set uint64, tr Trampoline, p1, p2 unsafe.Pointer
 		tr(ProgramContext, p1, p2)
 		return ProgramContext
 	}
-	ctx := rt.assign(set)
+	ctx, e := rt.assign(set)
 	if ctx == ProgramContext {
 		rt.stats.InlineExecs++
 		tr(ProgramContext, p1, p2)
@@ -368,6 +520,7 @@ func (rt *Runtime) DelegateCall(set uint64, tr Trampoline, p1, p2 unsafe.Pointer
 	}
 	rt.stats.Delegations++
 	rt.enqueue(ctx, Invocation{kind: kindMethod, set: set, tramp: tr, p1: p1, p2: p2})
+	rt.notePosition(e, ctx)
 	return ctx
 }
 
@@ -423,8 +576,12 @@ func (rt *Runtime) SyncContext(ctx int) {
 // delegated this epoch has no owner and nothing to wait for.
 func (rt *Runtime) SyncSet(set uint64) {
 	if rt.setOwner != nil {
-		if ctx, ok := rt.setOwner[set]; ok {
-			rt.SyncContext(ctx)
+		// Under stealing, syncing the current owner suffices: a handoff only
+		// happens at a quiescent boundary, so any operation that ran on a
+		// previous owner had already completed before the current owner
+		// received its first one.
+		if e, ok := rt.setOwner[set]; ok {
+			rt.SyncContext(e.ctx)
 		}
 		return
 	}
@@ -500,6 +657,9 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 	for i, t := range tasks {
 		d := rt.delegates[i%len(rt.delegates)]
 		rt.dirty[d.id-1] = true
+		if rt.sent != nil {
+			rt.sent[d.id-1]++ // method invocations count toward occupancy
+		}
 		d.queue.Push(Invocation{kind: kindMethod, fn: t})
 	}
 	rt.barrier()
@@ -514,9 +674,13 @@ func (rt *Runtime) EnterReduction() { rt.clock.switchTo(PhaseReduction, &rt.stat
 func (rt *Runtime) ExitReduction() { rt.clock.switchTo(PhaseAggregation, &rt.stats) }
 
 // Stats returns a snapshot of the runtime counters with the current phase's
-// elapsed time folded in.
+// elapsed time folded in and the delegate-side drain counters aggregated.
 func (rt *Runtime) Stats() Stats {
 	st := rt.stats
+	for _, d := range rt.delegates {
+		st.DrainBatches += d.drainBatches.Load()
+		st.DrainedOps += d.drainedOps.Load()
+	}
 	clk := rt.clock
 	clk.switchTo(clk.phase, &st) // charge the open span without mutating rt
 	return st

@@ -27,8 +27,10 @@ func (p Phase) String() string {
 }
 
 // Stats accumulates runtime counters and the per-phase wall-clock breakdown
-// used to regenerate Figure 5a. All fields are maintained by the program
-// context; delegated code never touches them.
+// used to regenerate Figure 5a. All fields except the drain counters are
+// maintained by the program context; DrainBatches and DrainedOps are
+// aggregated from per-delegate atomics when a snapshot is taken, so a
+// Stats() call may observe a drain mid-flight.
 type Stats struct {
 	Delegations  uint64 // operations sent to delegate contexts
 	InlineExecs  uint64 // operations executed inline in the program context
@@ -37,6 +39,9 @@ type Stats struct {
 	Epochs       uint64 // isolation epochs begun
 	BatchFlushes uint64 // delegation-buffer flushes (batches delivered)
 	BatchedOps   uint64 // delegations delivered through the batch buffer
+	Steals       uint64 // serialization sets handed off by the occupancy-aware rebalancer
+	DrainBatches uint64 // delegate-side batched drains (PopBatch runs executed)
+	DrainedOps   uint64 // invocations delivered through batched drains
 
 	Aggregation time.Duration
 	Isolation   time.Duration

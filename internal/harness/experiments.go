@@ -183,7 +183,10 @@ func Fig6(w io.Writer, opts Options, maxDelegates int) error {
 //   - assignment ratio: program share 0 vs 1 vs 2;
 //   - queue capacity: tiny vs default vs large communication queues;
 //   - kmeans formulation: reduction (proposed fix) vs naive (measured in
-//     the paper).
+//     the paper);
+//   - occupancy-aware stealing: least-loaded with and without whole-set
+//     work stealing, with the runtime's delegation/batching/stealing
+//     counters surfaced (Steals, BatchFlushes, BatchedOps, DrainedOps).
 func Ablation(w io.Writer, opts Options) error {
 	apps, err := FilterApps(opts.Apps)
 	if err != nil {
@@ -247,6 +250,26 @@ func Ablation(w io.Writer, opts Options) error {
 		naive := TimeBest(opts.Reps, func() { inst.Variants["naive"](delegates) })
 		fmt.Fprintf(w, "%-14s %12s %12s\n", "", "reduction", "naive")
 		fmt.Fprintf(w, "%-14s %12.1f %12.1f\n", "kmeans", Speedup(seq, red), Speedup(seq, naive))
+	}
+
+	fmt.Fprintf(w, "\nA5. occupancy-aware work stealing (least-loaded, whole-set handoff)\n")
+	fmt.Fprintf(w, "%-14s %9s %9s %8s %8s %10s %10s %10s\n",
+		"program", "ll", "ll+steal", "steals", "flushes", "batched", "drains", "drained")
+	for _, app := range apps {
+		inst := app.Load(opts.Size)
+		if inst.SSOpt == nil {
+			continue
+		}
+		seq := TimeBest(opts.Reps, inst.Seq)
+		ll := TimeBest(opts.Reps, func() { inst.SSOpt(delegates, prometheus.WithPolicy(prometheus.LeastLoaded)) })
+		var st prometheus.Stats
+		steal := TimeBest(opts.Reps, func() {
+			st = inst.SSOpt(delegates,
+				prometheus.WithPolicy(prometheus.LeastLoaded), prometheus.WithStealing())
+		})
+		fmt.Fprintf(w, "%-14s %9.1f %9.1f %8d %8d %10d %10d %10d\n",
+			app.Name, Speedup(seq, ll), Speedup(seq, steal),
+			st.Steals, st.BatchFlushes, st.BatchedOps, st.DrainBatches, st.DrainedOps)
 	}
 	return nil
 }

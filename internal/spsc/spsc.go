@@ -31,7 +31,12 @@
 // PushBatch writes a batch of values with a single wake signal at the end,
 // amortizing the producer→consumer signaling across the batch; the runtime's
 // program-context delegation buffer uses it to flush runs of operations
-// bound for the same delegate.
+// bound for the same delegate. PopBatch is its consumer-side mirror: it
+// removes a run of readable slots with a single popped-counter publish and a
+// single producer wake at the end, so a delegate draining a backlog pays the
+// shared-line stores once per run rather than once per operation. The
+// runtime's delegate drain loop pops one value (blocking) per wake and then
+// PopBatches the rest of the backlog.
 //
 // Blocking behaviour is hybrid: callers spin for a bounded number of
 // iterations (the analogue of the paper's PAUSE-instruction spin loop) and
@@ -82,8 +87,8 @@ type slot[T any] struct {
 // Queue is a bounded lock-free SPSC queue of T values. The zero value is not
 // usable; construct with NewQueue. Exactly one goroutine may call the
 // producer methods (Push, TryPush, PushBatch, Close) and exactly one may
-// call the consumer methods (Pop, TryPop). Len, Empty, Cap and Closed are
-// safe from any goroutine.
+// call the consumer methods (Pop, TryPop, PopBatch). Len, Empty, Cap and
+// Closed are safe from any goroutine.
 type Queue[T any] struct {
 	slots []slot[T]
 	mask  uint64
@@ -214,6 +219,43 @@ func (q *Queue[T]) PushBatch(vs []T) {
 	}
 	q.publishPush()
 	q.signalConsumer()
+}
+
+// PopBatch removes up to len(dst) values into dst without blocking and
+// returns how many were transferred (0 when the queue is empty or dst is).
+// It is the consumer-side mirror of PushBatch: values are copied out first,
+// the popped counter is published once for the whole run, and only then are
+// the slots re-stamped free and the producer woken once — so a run of n pops
+// costs two shared-line stores instead of 2n, and an external Len reader can
+// never observe pushed-popped exceeding the capacity (slots become writable
+// only after the pop is published). Consumer method.
+func (q *Queue[T]) PopBatch(dst []T) int {
+	var zero T
+	n := 0
+	for n < len(dst) {
+		p := q.head + uint64(n)
+		s := &q.slots[p&q.mask]
+		if s.seq.Load() != q.fullStamp(p) {
+			break
+		}
+		dst[n] = s.val
+		s.val = zero // drop references for GC before the slot is freed
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	start := q.head
+	q.head += uint64(n)
+	q.popped.Store(q.head)
+	for i := 0; i < n; i++ {
+		p := start + uint64(i)
+		// Same next-lap free stamp TryPop writes: lap(p)+1, encoded as the
+		// free stamp of position p+capacity.
+		q.slots[p&q.mask].seq.Store(q.freeStamp(p + uint64(len(q.slots))))
+	}
+	q.signalProducer()
+	return n
 }
 
 // TryPop removes and returns the next value without blocking. The second

@@ -85,6 +85,25 @@ func WithDelegateBatch(n int) Option { return func(c *core.Config) { c.DelegateB
 // WithPolicy selects the delegate-assignment policy.
 func WithPolicy(p SchedPolicy) Option { return func(c *core.Config) { c.Policy = p } }
 
+// WithStealing enables the occupancy-aware work-stealing extension to the
+// LeastLoaded policy. When a set's sticky owner has at least StealThreshold
+// outstanding operations and every operation previously delegated to that
+// set has finished executing (the set is quiescent — a safe handoff
+// boundary), the next delegation hands the whole set to the delegate with
+// the smallest occupancy, provided it is idle or at most a quarter as loaded
+// as the victim. Sets — never individual invocations — are the steal unit,
+// so operations within a set still execute in program order and the model's
+// determinism guarantee is unchanged; only the placement of whole sets
+// responds to load. Requires WithPolicy(LeastLoaded); incompatible with
+// Recursive.
+func WithStealing() Option { return func(c *core.Config) { c.Stealing = true } }
+
+// WithStealThreshold sets the victim backlog (outstanding operations) at
+// which stealing engages (default core.DefaultStealThreshold). Lower values
+// rebalance skew sooner; higher values keep ownership stickier under
+// transient pipelining. Ignored without WithStealing.
+func WithStealThreshold(n int) Option { return func(c *core.Config) { c.StealThreshold = n } }
+
 // Sequential builds the runtime in the paper's debug mode (§3.3): all
 // delegations execute inline, in program order, with checks still active.
 func Sequential() Option { return func(c *core.Config) { c.Sequential = true } }

@@ -1,0 +1,234 @@
+package prometheus
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// This file is the determinism stress suite pinning the paper's central
+// invariant — operations in one serialization set execute in program order,
+// so parallel runs are bit-identical — under the two features most likely to
+// perturb ordering: the program-side delegation batch buffer and the
+// occupancy-aware set stealing. The workloads mirror examples/bank and
+// examples/reverse_index, skewed so that a few sets carry most of the work
+// (the uneven-chain scenario stealing exists for). Every delegated operation
+// records itself in per-set logs; the logs from repeated parallel runs must
+// be byte-identical to each other and to the Sequential() debug-mode run.
+//
+// Which delegate executes a set is allowed to vary run to run (stealing is a
+// placement decision); the per-set operation ORDER is not.
+
+// stealStressOpts is the runtime shape under test: stealing plus delegation
+// batching, with an eager threshold so handoffs actually fire.
+func stealStressOpts() []Option {
+	return []Option{
+		WithDelegates(4),
+		WithPolicy(LeastLoaded),
+		WithStealing(),
+		WithStealThreshold(2),
+		WithDelegateBatch(8),
+	}
+}
+
+// runBankWorkload replays a deterministic transaction log against per-account
+// serialization sets (the examples/bank shape) and returns the byte-encoded
+// per-set operation order: each deposit appends its global op number to its
+// account's log, and transfers are dependent operations that reclaim
+// ownership through Call. 90% of the deposits hit 4 "hot" accounts, so under
+// stealing the hot sets migrate off whichever delegate they pile up on.
+func runBankWorkload(opts ...Option) ([]byte, Stats) {
+	rt := Init(opts...)
+	defer rt.Terminate()
+
+	type account struct {
+		balance int64
+		oplog   []uint32
+	}
+	const nAccounts = 16
+	const nHot = 4
+	accounts := make([]*Writable[account], nAccounts)
+	for i := range accounts {
+		accounts[i] = NewWritable(rt, account{balance: 1000})
+	}
+
+	r := rand.New(rand.NewSource(41))
+	rt.BeginIsolation()
+	for op := 0; op < 6000; op++ {
+		opID := uint32(op)
+		switch {
+		case op%97 == 0:
+			// Transfer: reclaim both accounts in the program context.
+			from, to := r.Intn(nAccounts), r.Intn(nAccounts)
+			if from == to {
+				continue
+			}
+			amount := int64(r.Intn(40))
+			ok := Call(accounts[from], func(a *account) bool {
+				if a.balance < amount {
+					return false
+				}
+				a.balance -= amount
+				return true
+			})
+			if ok {
+				accounts[to].Call(func(a *account) { a.balance += amount })
+			}
+		case op%53 == 0:
+			// Epoch break: new partition, owner table rebuilt from scratch.
+			rt.EndIsolation()
+			rt.BeginIsolation()
+		default:
+			idx := r.Intn(nHot) // hot accounts: 90% of deposits
+			if r.Intn(10) == 9 {
+				idx = nHot + r.Intn(nAccounts-nHot)
+			}
+			amount := int64(r.Intn(100))
+			accounts[idx].Delegate(func(c *Ctx, a *account) {
+				a.balance += amount
+				a.oplog = append(a.oplog, opID)
+			})
+		}
+	}
+	rt.EndIsolation()
+
+	var buf bytes.Buffer
+	for i, w := range accounts {
+		w.Call(func(a *account) {
+			fmt.Fprintf(&buf, "account %d balance %d oplog %v\n", i, a.balance, a.oplog)
+		})
+	}
+	return buf.Bytes(), rt.Stats()
+}
+
+// runReverseIndexWorkload builds a word->documents index sharded by word
+// hash (the examples/reverse_index shape): each posting is DelegateTo'd to
+// its word's shard set, so a shard's posting list is that set's operation
+// order. The vocabulary is Zipf-flavored — a few words dominate — which
+// concentrates load on a few shards.
+func runReverseIndexWorkload(opts ...Option) ([]byte, Stats) {
+	rt := Init(opts...)
+	defer rt.Terminate()
+
+	type posting struct {
+		doc  uint32
+		word string
+	}
+	const nShards = 12
+	shards := make([]*Writable[[]posting], nShards)
+	for i := range shards {
+		shards[i] = NewWritableSer(rt, []posting{}, NullSerializer[[]posting]())
+	}
+	shardOf := func(word string) uint64 {
+		h := fnv.New64a()
+		h.Write([]byte(word))
+		return h.Sum64() % nShards
+	}
+
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%02d", i)
+	}
+	r := rand.New(rand.NewSource(97))
+	rt.BeginIsolation()
+	for doc := 0; doc < 800; doc++ {
+		docID := uint32(doc)
+		words := 4 + r.Intn(8)
+		for k := 0; k < words; k++ {
+			// Zipf-ish choice: half of all postings use the first 3 words.
+			var w string
+			if r.Intn(2) == 0 {
+				w = vocab[r.Intn(3)]
+			} else {
+				w = vocab[r.Intn(len(vocab))]
+			}
+			p := posting{doc: docID, word: w}
+			shards[shardOf(w)].DelegateTo(shardOf(w), func(c *Ctx, s *[]posting) {
+				*s = append(*s, p)
+			})
+		}
+		if doc%200 == 199 {
+			rt.EndIsolation()
+			rt.BeginIsolation()
+		}
+	}
+	rt.EndIsolation()
+
+	var buf bytes.Buffer
+	for i, sh := range shards {
+		sh.Call(func(s *[]posting) {
+			fmt.Fprintf(&buf, "shard %d: %v\n", i, *s)
+		})
+	}
+	return buf.Bytes(), rt.Stats()
+}
+
+func assertByteIdenticalRuns(t *testing.T, name string,
+	run func(opts ...Option) ([]byte, Stats)) {
+	t.Helper()
+	want, _ := run(Sequential())
+	var steals, drained uint64
+	const runs = 6
+	for i := 0; i < runs; i++ {
+		got, st := run(stealStressOpts()...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s run %d: per-set operation order diverged from sequential\n got: %s\nwant: %s",
+				name, i, firstDiffLine(got, want), firstDiffLine(want, got))
+		}
+		steals += st.Steals
+		drained += st.DrainedOps
+	}
+	t.Logf("%s: %d runs byte-identical (%d steals, %d batch-drained ops total)",
+		name, runs, steals, drained)
+}
+
+// firstDiffLine trims a mismatching encoding to its first differing line so
+// failures are readable.
+func firstDiffLine(got, want []byte) []byte {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	for i := range g {
+		if i >= len(w) || !bytes.Equal(g[i], w[i]) {
+			return g[i]
+		}
+	}
+	return []byte("(prefix of the other)")
+}
+
+func TestBankDeterministicUnderStealing(t *testing.T) {
+	assertByteIdenticalRuns(t, "bank", runBankWorkload)
+}
+
+func TestReverseIndexDeterministicUnderStealing(t *testing.T) {
+	assertByteIdenticalRuns(t, "reverse_index", runReverseIndexWorkload)
+}
+
+// TestDeterminismMatrixUnderStealing reuses the random-program generator of
+// determinism_test.go with stealing-enabled shapes layered on top: final
+// states and observed reads must match the sequential run for arbitrary
+// op/epoch interleavings, not just the two curated workloads.
+func TestDeterminismMatrixUnderStealing(t *testing.T) {
+	shapes := [][]Option{
+		{WithDelegates(2), WithPolicy(LeastLoaded), WithStealing(), WithStealThreshold(1)},
+		{WithDelegates(4), WithPolicy(LeastLoaded), WithStealing()},
+		{WithDelegates(4), WithPolicy(LeastLoaded), WithStealing(), WithDelegateBatch(16)},
+		{WithDelegates(8), WithPolicy(LeastLoaded), WithStealing(), WithStealThreshold(2), WithQueueCapacity(4)},
+	}
+	r := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 6; trial++ {
+		nObjs := 1 + r.Intn(10)
+		ops := genProgram(r, nObjs, 400)
+		wantFinal, wantObs := runProgram(ops, nObjs, Sequential())
+		for si, shape := range shapes {
+			gotFinal, gotObs := runProgram(ops, nObjs, shape...)
+			if fmt.Sprint(gotFinal) != fmt.Sprint(wantFinal) {
+				t.Fatalf("trial %d shape %d: final state diverged\n got %v\nwant %v", trial, si, gotFinal, wantFinal)
+			}
+			if fmt.Sprint(gotObs) != fmt.Sprint(wantObs) {
+				t.Fatalf("trial %d shape %d: observed reads diverged\n got %v\nwant %v", trial, si, gotObs, wantObs)
+			}
+		}
+	}
+}

@@ -13,6 +13,8 @@ package prometheus_test
 // machinery, LeastLoaded-free default map state) are paid before measuring.
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	prometheus "repro"
@@ -153,6 +155,61 @@ func TestStealRebalanceZeroAlloc(t *testing.T) {
 	requireZeroAllocs(t, "stealing rebalance DoAll", func() {
 		prometheus.DoAll(objs, spin)
 	})
+}
+
+func TestRecursiveRootDelegateZeroAlloc(t *testing.T) {
+	// In recursive mode the root wrappers route through DelegateCall into
+	// the program context's ring lane on the set's owner: a value write
+	// plus single-writer counters, no closure, no lane node. The program
+	// producer uses the blocking push, so a full ring parks rather than
+	// spills and the steady state stays allocation-free.
+	rt := prometheus.Init(prometheus.WithDelegates(2), prometheus.Recursive())
+	defer rt.Terminate()
+	w := prometheus.NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	for i := 0; i < allocWarmup; i++ {
+		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	}
+	requireZeroAllocs(t, "Recursive Writable.Delegate", func() {
+		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}
+
+func TestRecursiveNestedDelegateZeroAlloc(t *testing.T) {
+	// The recursive engine's defining path: DelegateFromCall issued from
+	// inside a delegated operation, plus the delegate-side batched lane
+	// drain executing the burst. Each measured run waits (via a marker
+	// counter) until the whole burst has drained, so AllocsPerRun — which
+	// reads process-wide malloc counters — pins the producer push, the
+	// pending-bitmask publish, and the consumer drain loop together at
+	// zero. The burst targets set 1001 (owner: delegate 2), not the
+	// delegate running the burst, so the wait cannot deadlock and the
+	// in-ring path (not the allocating spill) is what executes.
+	rt := prometheus.Init(prometheus.WithDelegates(4), prometheus.Recursive())
+	defer rt.Terminate()
+	w := prometheus.NewWritable(rt, 0)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	var done atomic.Int64
+	leaf := func(c *prometheus.Ctx) { done.Add(1) }
+	const burstLen = 32
+	burst := func(c *prometheus.Ctx, p *int) {
+		for k := 0; k < burstLen; k++ {
+			c.Delegate(1001, leaf)
+		}
+	}
+	fire := func() {
+		start := done.Load()
+		w.Delegate(burst)
+		for done.Load() < start+burstLen {
+			runtime.Gosched()
+		}
+	}
+	for i := 0; i < allocWarmup/burstLen; i++ {
+		fire()
+	}
+	requireZeroAllocs(t, "Recursive Ctx.Delegate burst + drain", fire)
 }
 
 func TestSequentialInlineZeroAlloc(t *testing.T) {

@@ -1,24 +1,28 @@
-// Command benchgate is the CI regression gate for the delegation hot path:
-// it reads `go test -bench` output on stdin, extracts the
-// BenchmarkDelegateOverhead variants, and compares them against the numbers
-// recorded in a PR benchmark baseline (BENCH_PR1.json's
-// delegate_overhead_variants_after table). It exits nonzero when a variant
-// regresses by more than -max-regress-pct, or when a 0 allocs/op variant
-// starts allocating.
+// Command benchgate is the CI regression gate for the delegation hot
+// paths: it reads `go test -bench` output on stdin, extracts the
+// BenchmarkDelegateOverhead and BenchmarkRecursiveOverhead variants, and
+// compares them against the numbers recorded in one or more PR benchmark
+// baselines (-baseline may be repeated: BENCH_PR1.json carries the flat
+// path's delegate_overhead_variants_after table, BENCH_PR3.json the
+// recursive engine's recursive_overhead_variants_after table). It exits
+// nonzero when a variant regresses by more than -max-regress-pct, or when
+// a 0 allocs/op variant starts allocating.
 //
 // Raw ns/op is not portable across machines, so -normalize names a canary
-// variant (sequential-inline: one trampoline call, no queues, no goroutines
-// — pure single-thread machine speed): each variant is compared as a ratio
-// to the canary, current vs baseline, which cancels the host's clock out of
-// the gate while still catching hot-path regressions. Without -normalize the
-// comparison is absolute, for runs on the machine that produced the
-// baseline.
+// variant (sequential-inline: one trampoline call, no queues, no
+// goroutines — pure single-thread machine speed): each variant is compared
+// as a ratio to its own table's canary, current vs baseline, which cancels
+// the host's clock out of the gate while still catching hot-path
+// regressions. Each benchmark table normalizes against the canary variant
+// of the same benchmark, so the flat and recursive gates stay independent.
+// Without -normalize the comparison is absolute, for runs on the machine
+// that produced the baselines.
 //
-// Repeated benchmark lines for one variant (go test -count=N) are reduced to
-// their minimum, the standard noise suppression for throughput numbers.
+// Repeated benchmark lines for one variant (go test -count=N) are reduced
+// to their minimum, the standard noise suppression for throughput numbers.
 //
-//	go test -run=NONE -bench BenchmarkDelegateOverhead -benchmem -count=3 . |
-//	  go run ./cmd/benchgate -baseline BENCH_PR1.json -normalize sequential-inline
+//	go test -run=NONE -bench 'BenchmarkDelegateOverhead|BenchmarkRecursiveOverhead' -benchmem -count=3 . |
+//	  go run ./cmd/benchgate -baseline BENCH_PR1.json -baseline BENCH_PR3.json -normalize sequential-inline
 package main
 
 import (
@@ -33,16 +37,27 @@ import (
 )
 
 // baselineFile mirrors the slice of the BENCH_PR*.json schema the gate
-// reads; unknown fields are ignored.
+// reads; unknown fields are ignored. A file may carry either or both
+// variant tables.
 type baselineFile struct {
-	PR       int                        `json:"pr"`
-	Variants map[string]baselineVariant `json:"delegate_overhead_variants_after"`
+	PR                int                        `json:"pr"`
+	DelegateVariants  map[string]baselineVariant `json:"delegate_overhead_variants_after"`
+	RecursiveVariants map[string]baselineVariant `json:"recursive_overhead_variants_after"`
 }
 
 type baselineVariant struct {
 	NsOp     float64 `json:"ns_op"`
 	BOp      float64 `json:"B_op"`
 	AllocsOp float64 `json:"allocs_op"`
+}
+
+// gateTable is one benchmark's worth of baseline expectations: the bench
+// name prefix its variants appear under, and the file/PR they came from.
+type gateTable struct {
+	bench    string // e.g. "BenchmarkDelegateOverhead"
+	source   string
+	pr       int
+	variants map[string]baselineVariant
 }
 
 type measured struct {
@@ -56,8 +71,9 @@ type measured struct {
 //	BenchmarkDelegateOverhead/writable-8  20000000  91.26 ns/op  0 B/op  0 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
 
-func parseBench(name string, known map[string]baselineVariant) (variant string, ok bool) {
-	const prefix = "BenchmarkDelegateOverhead/"
+// parseBench resolves a bench row's name against one table's variants.
+func parseBench(name, bench string, known map[string]baselineVariant) (variant string, ok bool) {
+	prefix := bench + "/"
 	if !strings.HasPrefix(name, prefix) {
 		return "", false
 	}
@@ -77,26 +93,47 @@ func parseBench(name string, known map[string]baselineVariant) (variant string, 
 }
 
 func main() {
+	var baselinePaths []string
+	flag.Func("baseline", "baseline JSON with *_overhead_variants_after tables (repeatable)",
+		func(s string) error { baselinePaths = append(baselinePaths, s); return nil })
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR1.json", "baseline JSON with delegate_overhead_variants_after")
-		maxRegress   = flag.Float64("max-regress-pct", 10, "fail when a variant is this much slower than baseline")
-		normalize    = flag.String("normalize", "", "canary variant to ratio both sides against (portable gate)")
+		maxRegress = flag.Float64("max-regress-pct", 10, "fail when a variant is this much slower than baseline")
+		normalize  = flag.String("normalize", "", "canary variant to ratio both sides against, per table (portable gate)")
 	)
 	flag.Parse()
-
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fatalf("read baseline: %v", err)
-	}
-	var base baselineFile
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fatalf("parse baseline %s: %v", *baselinePath, err)
-	}
-	if len(base.Variants) == 0 {
-		fatalf("baseline %s has no delegate_overhead_variants_after table", *baselinePath)
+	if len(baselinePaths) == 0 {
+		baselinePaths = []string{"BENCH_PR1.json"}
 	}
 
-	got := map[string]measured{}
+	var tables []*gateTable
+	for _, path := range baselinePaths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("read baseline: %v", err)
+		}
+		var base baselineFile
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatalf("parse baseline %s: %v", path, err)
+		}
+		if len(base.DelegateVariants) > 0 {
+			tables = append(tables, &gateTable{
+				bench: "BenchmarkDelegateOverhead", source: path, pr: base.PR,
+				variants: base.DelegateVariants,
+			})
+		}
+		if len(base.RecursiveVariants) > 0 {
+			tables = append(tables, &gateTable{
+				bench: "BenchmarkRecursiveOverhead", source: path, pr: base.PR,
+				variants: base.RecursiveVariants,
+			})
+		}
+		if len(base.DelegateVariants) == 0 && len(base.RecursiveVariants) == 0 {
+			fatalf("baseline %s has no *_overhead_variants_after table", path)
+		}
+	}
+
+	// got[bench][variant] is the fastest measurement seen for the variant.
+	got := map[string]map[string]measured{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -106,62 +143,78 @@ func main() {
 		if m == nil {
 			continue
 		}
-		variant, ok := parseBench(m[1], base.Variants)
-		if !ok {
-			continue
-		}
-		cur, ok := parseMetrics(m[2])
-		if !ok {
-			continue
-		}
-		if prev, seen := got[variant]; !seen || cur.nsOp < prev.nsOp {
-			got[variant] = cur
+		for _, tbl := range tables {
+			variant, ok := parseBench(m[1], tbl.bench, tbl.variants)
+			if !ok {
+				continue
+			}
+			cur, ok := parseMetrics(m[2])
+			if !ok {
+				continue
+			}
+			byVariant := got[tbl.bench]
+			if byVariant == nil {
+				byVariant = map[string]measured{}
+				got[tbl.bench] = byVariant
+			}
+			if prev, seen := byVariant[variant]; !seen || cur.nsOp < prev.nsOp {
+				byVariant[variant] = cur
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fatalf("read stdin: %v", err)
 	}
 	if len(got) == 0 {
-		fatalf("no BenchmarkDelegateOverhead results on stdin — did the bench run?")
-	}
-
-	canaryScale := 1.0
-	if *normalize != "" {
-		cur, okCur := got[*normalize]
-		baseV, okBase := base.Variants[*normalize]
-		if !okCur || !okBase {
-			fatalf("normalize variant %q missing (measured: %v, baseline: %v)", *normalize, okCur, okBase)
-		}
-		canaryScale = baseV.NsOp / cur.nsOp
+		fatalf("no gated benchmark results on stdin — did the bench run?")
 	}
 
 	failed := false
-	for variant, baseV := range base.Variants {
-		cur, ok := got[variant]
-		if !ok {
-			// A missing variant means the bench run was cut short (panic,
-			// deadlock kill, filter typo) — an unmeasured gate must not pass.
-			fmt.Printf("benchgate: variant %q in baseline but not measured [FAIL]\n", variant)
+	for _, tbl := range tables {
+		byVariant := got[tbl.bench]
+		if byVariant == nil {
+			fmt.Printf("benchgate: no %s results on stdin for %s [FAIL]\n", tbl.bench, tbl.source)
 			failed = true
 			continue
 		}
-		effective := cur.nsOp * canaryScale
-		deltaPct := 100 * (effective - baseV.NsOp) / baseV.NsOp
-		status := "ok"
-		if variant != *normalize && deltaPct > *maxRegress {
-			status = "FAIL"
-			failed = true
+		canaryScale := 1.0
+		if *normalize != "" {
+			cur, okCur := byVariant[*normalize]
+			baseV, okBase := tbl.variants[*normalize]
+			if !okCur || !okBase {
+				fatalf("%s: normalize variant %q missing (measured: %v, baseline: %v)",
+					tbl.bench, *normalize, okCur, okBase)
+			}
+			canaryScale = baseV.NsOp / cur.nsOp
 		}
-		fmt.Printf("benchgate: %-20s baseline %8.2f ns/op, measured %8.2f (scaled %8.2f), delta %+6.1f%% [%s]\n",
-			variant, baseV.NsOp, cur.nsOp, effective, deltaPct, status)
-		if cur.haveMem && cur.allocsOp > baseV.AllocsOp {
-			fmt.Printf("benchgate: %-20s allocs/op %.0f, baseline %.0f [FAIL]\n", variant, cur.allocsOp, baseV.AllocsOp)
-			failed = true
+		for variant, baseV := range tbl.variants {
+			cur, ok := byVariant[variant]
+			if !ok {
+				// A missing variant means the bench run was cut short (panic,
+				// deadlock kill, filter typo) — an unmeasured gate must not pass.
+				fmt.Printf("benchgate: %s variant %q in baseline but not measured [FAIL]\n", tbl.bench, variant)
+				failed = true
+				continue
+			}
+			effective := cur.nsOp * canaryScale
+			deltaPct := 100 * (effective - baseV.NsOp) / baseV.NsOp
+			status := "ok"
+			if variant != *normalize && deltaPct > *maxRegress {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("benchgate: %-28s %-20s baseline %8.2f ns/op, measured %8.2f (scaled %8.2f), delta %+6.1f%% [%s]\n",
+				tbl.bench, variant, baseV.NsOp, cur.nsOp, effective, deltaPct, status)
+			if cur.haveMem && cur.allocsOp > baseV.AllocsOp {
+				fmt.Printf("benchgate: %-28s %-20s allocs/op %.0f, baseline %.0f [FAIL]\n",
+					tbl.bench, variant, cur.allocsOp, baseV.AllocsOp)
+				failed = true
+			}
 		}
 	}
 	if failed {
-		fmt.Printf("benchgate: FAIL — hot-path regression beyond %.0f%% vs %s (PR %d baseline)\n",
-			*maxRegress, *baselinePath, base.PR)
+		fmt.Printf("benchgate: FAIL — hot-path regression beyond %.0f%% vs %s\n",
+			*maxRegress, strings.Join(baselinePaths, ", "))
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: PASS")

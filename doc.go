@@ -124,7 +124,53 @@
 // tracks per-delegate sent counts, and a set is quiescent exactly when its
 // newest operation's position is at or below its owner's executed count.
 //
-// BenchmarkDelegateOverhead, BenchmarkSPSC and BenchmarkCoreDelegateSkewed
-// measure these paths; Runtime.Stats reports delegation, batching,
-// stealing, drain, and per-phase time counters.
+// # Recursive delegation
+//
+// Recursive() enables the extension the paper names as future work (§4):
+// delegated operations may delegate further operations via Ctx.Delegate,
+// which is how divide-and-conquer programs (quicksort, FPM, Barnes-Hut)
+// are expressed without fork/join scaffolding. The recursive engine is
+// built to the same performance standard as the flat path:
+//
+//   - Every delegate owns one inbound lane per producer context (program
+//     plus every delegate). A lane is a bounded lap-stamped value ring —
+//     the same slot machinery as the flat path's SPSC queue — backed by an
+//     unbounded spill list that engages only on overflow. Steady state, a
+//     recursive delegation writes its invocation record by value into ring
+//     memory: zero allocations, no lane nodes, no closure. The spill tier
+//     is what makes the bounded ring safe: a delegate may delegate to a
+//     set it itself owns (or around a delegation cycle), so a delegate
+//     producer never blocks — it spills — while the program context, which
+//     no delegate can be waiting on, blocks on a full ring and gets
+//     bounded-queue backpressure instead.
+//
+//   - The trampoline fast path extends end to end: Ctx.Delegate and the
+//     root wrappers (Writable, ReadOnly, Reducible) all route through
+//     static trampolines into the lanes (core.DelegateFromCall), so
+//     recursive mode no longer pays a per-call closure.
+//
+//   - Each delegate keeps a pending-lane bitmask instead of polling all
+//     lanes round-robin: a producer publishes work with one conditional
+//     atomic OR plus a wake check, and an idle delegate inspects O(1)
+//     words. Claimed lanes drain in batched runs (the consumer mirror of
+//     the flat path's PopBatch drain), publishing the executed counter
+//     once per run.
+//
+//   - Quiescence bookkeeping is contention-free: each producer context
+//     counts what it enqueued in a padded single-writer counter and each
+//     delegate counts what it executed; only the EndIsolation barrier
+//     aggregates the two sides, repeating sync rounds until the sums agree
+//     across a quiet round (executing an operation may enqueue more work,
+//     so one drain round is never proof of completion).
+//
+// Per-set program order is preserved per producer — FIFO through ring and
+// spill alike — and determinism requires each set to have one producer
+// context per isolation epoch, which Checked() enforces with a sharded
+// producer table. Stats reports RecursiveOps and Spills alongside the
+// drain counters.
+//
+// BenchmarkDelegateOverhead, BenchmarkRecursiveOverhead, BenchmarkSPSC,
+// BenchmarkLane and BenchmarkCoreDelegateSkewed measure these paths;
+// Runtime.Stats reports delegation, batching, stealing, drain, recursive,
+// spill, and per-phase time counters.
 package prometheus

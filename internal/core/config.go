@@ -12,13 +12,19 @@ import (
 // of that win while bounding how long a buffered operation can wait.
 const DefaultDelegateBatch = 8
 
-// DefaultStealThreshold is the default victim backlog (outstanding
-// operations: sent minus executed) at which the occupancy-aware rebalancer
-// considers handing one of the victim's serialization sets to a less-loaded
-// delegate. Low enough that a skewed epoch rebalances within its first few
-// operations per set, high enough that transient two-or-three-deep queues —
-// normal pipelining — never trigger a handoff.
-const DefaultStealThreshold = 8
+// MinStealThreshold/MaxStealThreshold clamp the adaptive StealThreshold
+// default. When the option is unset, the victim backlog at which the
+// occupancy-aware rebalancer engages is derived from the queue capacity
+// (QueueCapacity/4): a deep ring tolerates a deeper backlog before a
+// handoff pays, a shallow ring saturates — and starts blocking the
+// producer — after only a few operations. The clamp keeps the derived
+// value above transient two-or-three-deep pipelining (never below 4) and
+// below the point where a victim must be hundreds of operations behind
+// before anyone helps (never above 64).
+const (
+	MinStealThreshold = 4
+	MaxStealThreshold = 64
+)
 
 // drainBatchSize bounds the delegate-side drain buffer: after each blocking
 // pop, the delegate PopBatches up to this many further invocations and
@@ -27,6 +33,12 @@ const DefaultStealThreshold = 8
 // producer-signal stores across deep backlogs without hoarding a large
 // resident buffer.
 const drainBatchSize = 64
+
+// spinBeforeParkRec bounds a recursive delegate's busy-wait over its
+// pending-lane bitmask before it parks on its wake channel. The re-check
+// is O(words), far cheaper than the old all-lanes poll, so the loop can
+// afford the same order of spin as the SPSC queues.
+const spinBeforeParkRec = 128
 
 // SchedPolicy selects how serialization sets are assigned to delegate
 // contexts.
@@ -74,8 +86,10 @@ type Config struct {
 	// those sets execute inline in the program thread. Default 0.
 	ProgramShare int
 
-	// QueueCapacity is the per-delegate communication-queue capacity.
-	// Default spsc.DefaultCapacity.
+	// QueueCapacity is the per-delegate communication-queue capacity. In
+	// recursive mode it sizes each producer lane's bounded ring (overflow
+	// beyond it goes to the lane's unbounded spill list). Default
+	// spsc.DefaultCapacity.
 	QueueCapacity int
 
 	// DelegateBatch bounds the program context's delegation buffer: runs of
@@ -114,8 +128,9 @@ type Config struct {
 	Stealing bool
 
 	// StealThreshold is the victim backlog (outstanding operations) at which
-	// stealing engages. Default DefaultStealThreshold. Ignored unless
-	// Stealing is set.
+	// stealing engages. When unset it adapts to the queue capacity:
+	// QueueCapacity/4, clamped to [MinStealThreshold, MaxStealThreshold].
+	// Ignored unless Stealing is set.
 	StealThreshold int
 
 	// Trace enables execution tracing: every delegated-operation execution,
@@ -154,7 +169,15 @@ func (c Config) withDefaults() Config {
 		c.DelegateBatch = DefaultDelegateBatch
 	}
 	if c.StealThreshold <= 0 {
-		c.StealThreshold = DefaultStealThreshold
+		// Adaptive default: scale with the queue depth the backlog is
+		// measured against (QueueCapacity was defaulted above).
+		c.StealThreshold = c.QueueCapacity / 4
+		if c.StealThreshold < MinStealThreshold {
+			c.StealThreshold = MinStealThreshold
+		}
+		if c.StealThreshold > MaxStealThreshold {
+			c.StealThreshold = MaxStealThreshold
+		}
 	}
 	return c
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -10,55 +12,162 @@ import (
 
 // Recursive delegation — the extension the paper names as future work
 // ("we plan to extend the runtime to support recursive delegation to
-// improve programmability", §4). With Config.Recursive enabled, delegated
-// operations may themselves delegate further operations through their
-// execution context.
+// improve programmability", §4) — built to the same performance standard
+// as the flat path: zero heap allocations and O(1) work per steady-state
+// delegation. With Config.Recursive enabled, delegated operations may
+// themselves delegate further operations through their execution context.
 //
-// Plumbing: SPSC queues admit a single producer, so in recursive mode each
-// delegate owns one inbound queue per producer context (program context and
-// every delegate), and its loop polls those lanes round-robin, parking on a
-// wake channel when all are empty. Per-set program order is preserved per
-// producer: operations a producer sends to one set stay in order (one lane,
-// FIFO). For the execution to stay deterministic, a serialization set must
-// receive delegations from only one producer context per isolation epoch —
-// the natural structure of divide-and-conquer programs, and checked mode
-// enforces it.
+// Plumbing. SPSC queues admit a single producer, so each delegate owns one
+// inbound lane per producer context (the program context and every
+// delegate). Lanes are bounded lap-stamped value rings (spsc.Lane, sharing
+// the flat path's slot machinery) backed by an unbounded spill list that
+// engages only on overflow: a purely bounded lane would self-deadlock when
+// a delegate delegates to a set it itself owns (or around a delegation
+// cycle), because only blocked contexts could drain it. Delegate producers
+// therefore never block — they spill — while the program context, which no
+// delegate's progress can depend on, uses the blocking push and gets
+// bounded-queue backpressure. In steady state every delegation writes its
+// invocation record by value into ring memory: no allocation, no node
+// chasing.
 //
-// Barriers change meaning under recursion: draining every queue once is not
-// enough, because executing an operation may enqueue more work. The runtime
-// counts enqueued and executed operations and repeats drain rounds until
-// the counts agree (quiescence).
+// Consumption. Each delegate keeps a pending-lane bitmask (bit p set =
+// lane p may hold work). A producer publishes work with one conditional
+// atomic OR plus a wake check; the delegate claims pending lanes with a
+// single Swap and drains each claimed lane in batched runs (the consumer
+// mirror of the flat path's PopBatch drain), publishing its executed
+// counter once per run instead of once per operation. An idle delegate
+// checks O(1) words instead of polling all Delegates+1 lanes round-robin.
+//
+// Ordering. Per-set program order is preserved per producer: operations a
+// producer sends to one set stay in order (one lane, FIFO across ring and
+// spill). For the execution to stay deterministic, a serialization set
+// must receive delegations from only one producer context per isolation
+// epoch — the natural structure of divide-and-conquer programs, enforced
+// in checked mode by a sharded producer table.
+//
+// Quiescence. Barriers change meaning under recursion: draining every lane
+// once is not enough, because executing an operation may enqueue more
+// work. Each producer context counts what it enqueued (single-writer
+// padded counters — no shared hot-path atomics) and each delegate counts
+// what it executed; recBarrier aggregates both sides and repeats sync
+// rounds until the sums agree across a full quiet round.
 
-// recDelegate is a delegate context in recursive mode. Lanes are
-// unbounded queues: a delegate may delegate to a set it itself owns, and a
-// bounded lane would self-deadlock when full (only the pushing context
-// could drain it).
+// Wake-state values for the delegate parking protocol (the recursive
+// analogue of spsc's sleepState).
+const (
+	recAwake    int32 = iota // delegate is running (or about to re-check)
+	recSleeping              // delegate is parked on its wake channel
+)
+
+// recDelegate is a delegate context in recursive mode.
 type recDelegate struct {
 	id    int
-	lanes []*spsc.Unbounded[Invocation] // indexed by producer context id
+	lanes []*spsc.Lane[Invocation] // indexed by producer context id
+
+	// pending is the lane-readiness bitmask, one bit per producer lane
+	// (64 lanes per word). Bit p is set by producer p after a push and
+	// cleared wholesale by the delegate when it claims a word's lanes for
+	// draining; because the delegate drains a claimed lane until empty and
+	// every push is followed by the OR, no work is ever stranded behind a
+	// cleared bit.
+	pending []atomic.Uint64
+	// sleep/wake park the delegate when every pending word is zero.
+	sleep atomic.Int32
 	wake  chan struct{}
+
+	// exec publishes how many method invocations this delegate has
+	// finished running — stored, not added, once per drained run (the
+	// delegate is its only writer). recBarrier sums it across delegates.
+	exec atomic.Uint64
+
+	// drainBatches/drainedOps count the batched lane drains; aggregated
+	// into Stats by the program context.
+	drainBatches atomic.Uint64
+	drainedOps   atomic.Uint64
 }
+
+// recCounter is a cache-line-padded single-writer counter: one per
+// producer context for the enqueued side of the quiescence ledger, so
+// concurrent delegations from different contexts never contend on a
+// shared counter line (the previous engine's two global atomics were the
+// hottest shared state in recursive mode).
+type recCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// add bumps the counter without an RMW: the owner is the only writer.
+func (c *recCounter) add(delta uint64) { c.n.Store(c.n.Load() + delta) }
 
 // recState is the recursive-mode extension of Runtime.
 type recState struct {
 	delegates []*recDelegate
-	enqueued  atomic.Int64
-	executed  atomic.Int64
-	// setProducer tags each set's producer this epoch (checked mode only);
-	// guarded by mu because delegations race in from every context.
-	mu          sync.Mutex
-	setProducer map[uint64]int
+	// enq[p] counts the method invocations producer context p has
+	// enqueued; single writer each (the goroutine running context p).
+	enq []recCounter
+	// producers enforces the one-producer-per-set discipline (checked
+	// mode only; nil otherwise).
+	producers *producerTable
 }
 
-// checkProducer enforces the recursive-mode determinism discipline: one
-// producer context per serialization set per isolation epoch.
-func (rec *recState) checkProducer(set uint64, producer int) {
-	rec.mu.Lock()
-	prev, ok := rec.setProducer[set]
-	if !ok {
-		rec.setProducer[set] = producer
+// enqSum aggregates the enqueued side of the quiescence ledger.
+func (rec *recState) enqSum() uint64 {
+	var sum uint64
+	for i := range rec.enq {
+		sum += rec.enq[i].n.Load()
 	}
-	rec.mu.Unlock()
+	return sum
+}
+
+// execSum aggregates the executed side.
+func (rec *recState) execSum() uint64 {
+	var sum uint64
+	for _, d := range rec.delegates {
+		sum += d.exec.Load()
+	}
+	return sum
+}
+
+// producerShards is the stripe count of the checked-mode producer table;
+// a power of two so shard selection is a mask.
+const producerShards = 64
+
+// producerTable is the sharded set→producer registry behind checked
+// recursive mode. Delegations race in from every context, so the check
+// must not funnel them through one mutex: the set id is scrambled and
+// striped over producerShards independently-locked maps, keeping
+// checked-mode overhead O(1) and all-but-uncontended.
+type producerTable struct {
+	shards [producerShards]producerShard
+}
+
+type producerShard struct {
+	mu sync.Mutex
+	m  map[uint64]int
+	// Pad to a full cache line (8B mutex + 8B map header + 48B) so
+	// adjacent shards' locks never share one.
+	_ [48]byte
+}
+
+func newProducerTable() *producerTable {
+	t := &producerTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]int)
+	}
+	return t
+}
+
+// check enforces the recursive-mode determinism discipline: one producer
+// context per serialization set per isolation epoch.
+func (t *producerTable) check(set uint64, producer int) {
+	// Fibonacci-style scramble spreads consecutive set ids over shards.
+	sh := &t.shards[(set*0x9e3779b97f4a7c15)>>(64-6)&(producerShards-1)]
+	sh.mu.Lock()
+	prev, ok := sh.m[set]
+	if !ok {
+		sh.m[set] = producer
+	}
+	sh.mu.Unlock()
 	if ok && prev != producer {
 		panic(fmt.Sprintf(
 			"prometheus: serializer violation: set %d delegated from context %d after context %d in one epoch (recursive mode requires one producer per set)",
@@ -66,21 +175,35 @@ func (rec *recState) checkProducer(set uint64, producer int) {
 	}
 }
 
-// initRecursive builds the lane matrix and starts the polling loops.
+// reset clears the registry at an epoch boundary.
+func (t *producerTable) reset() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if len(sh.m) > 0 {
+			sh.m = make(map[uint64]int)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// initRecursive builds the lane matrix and starts the drain loops.
 func (rt *Runtime) initRecursive() {
 	cfg := rt.cfg
-	rec := &recState{}
-	if cfg.Checked {
-		rec.setProducer = make(map[uint64]int)
-	}
 	nProducers := cfg.Delegates + 1
+	rec := &recState{enq: make([]recCounter, nProducers)}
+	if cfg.Checked {
+		rec.producers = newProducerTable()
+	}
+	words := (nProducers + 63) / 64
 	for i := 0; i < cfg.Delegates; i++ {
 		d := &recDelegate{
-			id:   i + 1,
-			wake: make(chan struct{}, 1),
+			id:      i + 1,
+			pending: make([]atomic.Uint64, words),
+			wake:    make(chan struct{}, 1),
 		}
 		for p := 0; p < nProducers; p++ {
-			d.lanes = append(d.lanes, spsc.NewUnbounded[Invocation]())
+			d.lanes = append(d.lanes, spsc.NewLane[Invocation](cfg.QueueCapacity))
 		}
 		rec.delegates = append(rec.delegates, d)
 		rt.wg.Add(1)
@@ -89,29 +212,102 @@ func (rt *Runtime) initRecursive() {
 	rt.rec = rec
 }
 
-// recLoop polls the delegate's lanes round-robin. The spin/park balance
-// mirrors the SPSC queue's own blocking behaviour.
+// notify publishes lane `producer` as pending and wakes the delegate if it
+// is parked. The OR is skipped when the bit is already set (the common
+// case on a busy lane — one shared load instead of an RMW): bit p has a
+// single setter, so observing it set means the delegate has not claimed
+// the word since, and its claim-then-drain-to-empty discipline will find
+// the value just pushed. The wake check must still run — a parked
+// delegate and a set bit can coexist only in the instant between a push
+// and this call, and the sleep-flag handshake (seq-cst store/load on both
+// sides, as in spsc) closes it.
+func (d *recDelegate) notify(producer int) {
+	w := &d.pending[producer>>6]
+	bit := uint64(1) << (producer & 63)
+	if w.Load()&bit == 0 {
+		w.Or(bit)
+	}
+	if d.sleep.Load() == recSleeping {
+		select {
+		case d.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// anyPending reports whether any lane bit is raised (the delegate's
+// pre-park re-check).
+func (d *recDelegate) anyPending() bool {
+	for i := range d.pending {
+		if d.pending[i].Load() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// recEnqueue routes one invocation from any producer context to the owner
+// of its set. The steady-state cost is one padded-counter bump, one ring
+// write, one pending-bit load (or OR), and one sleep-flag load — no
+// allocation, no contended atomics. Callers have already dispatched on
+// Sequential mode.
+func (rt *Runtime) recEnqueue(producer int, set uint64, inv Invocation) int {
+	rec := rt.rec
+	if rec.producers != nil {
+		rec.producers.check(set, producer)
+	}
+	owner := rt.vmap[set%uint64(len(rt.vmap))]
+	d := rec.delegates[owner-1]
+	rec.enq[producer].add(1)
+	lane := d.lanes[producer]
+	if producer == ProgramContext {
+		// The program context is never inside a delegation cycle, so it
+		// can block on a full ring: bounded-queue backpressure instead of
+		// unbounded spill growth when the program outruns the delegates.
+		lane.PushBlocking(inv)
+	} else {
+		// Delegate producers must never block (self-delegation, cycles);
+		// ring overflow goes to the lane's spill list.
+		lane.Push(inv)
+	}
+	d.notify(producer)
+	return owner
+}
+
+// delegateFrom routes a closure delegation from any producer context in
+// recursive mode (the flexible path: tracing, RunParallel, and
+// closure-based API calls). Inline execution is not used: every set is
+// owned by a delegate (ProgramShare is rejected under Recursive), so
+// ordering never depends on which context produced the operation.
+func (rt *Runtime) delegateFrom(producer int, set uint64, fn func(ctx int)) int {
+	if rt.cfg.Sequential {
+		rt.stats.InlineExecs++
+		fn(ProgramContext)
+		return ProgramContext
+	}
+	return rt.recEnqueue(producer, set, Invocation{kind: kindMethod, set: set, fn: fn})
+}
+
+// recLoop is the body of a recursive delegate: claim pending lanes with
+// one Swap per word, drain each claimed lane in batched runs, publish
+// executed progress once per run, park when every word stays zero.
 func (rt *Runtime) recLoop(d *recDelegate) {
 	defer rt.wg.Done()
-	const spinBeforePark = 128
+	buf := make([]Invocation, drainBatchSize)
+	var executed uint64 // method invocations completed; published via d.exec
 	spin := 0
 	for {
 		progress := false
-		for _, lane := range d.lanes {
-			inv, ok := lane.TryPop()
-			if !ok {
-				continue
-			}
-			progress = true
-			switch inv.kind {
-			case kindMethod:
-				inv.invoke(d.id)
-				rt.rec.executed.Add(1)
-			case kindSync:
-				close(inv.done)
-			case kindTerminate:
-				close(inv.done)
-				return
+		for w := range d.pending {
+			claimed := d.pending[w].Swap(0)
+			for claimed != 0 {
+				p := w<<6 | bits.TrailingZeros64(claimed)
+				claimed &= claimed - 1
+				drained, terminate := d.drainLane(d.lanes[p], buf, &executed)
+				if terminate {
+					return
+				}
+				progress = progress || drained
 			}
 		}
 		if progress {
@@ -119,79 +315,90 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 			continue
 		}
 		spin++
-		if spin < spinBeforePark {
+		if spin < spinBeforeParkRec {
+			if spin%16 == 0 {
+				runtime.Gosched()
+			}
 			continue
 		}
-		// Park until a producer signals. Producers signal after every
-		// push, so a lost race just costs one extra poll round.
-		select {
-		case <-d.wake:
-		default:
-			if d.anyReady() {
-				continue
-			}
-			<-d.wake
+		// Park until a producer raises a bit. Re-check after arming the
+		// sleep flag to avoid a lost wakeup (producers load the flag after
+		// their OR).
+		d.sleep.Store(recSleeping)
+		if d.anyPending() {
+			d.sleep.Store(recAwake)
+			spin = 0
+			continue
 		}
+		<-d.wake
+		d.sleep.Store(recAwake)
 		spin = 0
 	}
 }
 
-func (d *recDelegate) anyReady() bool {
-	for _, lane := range d.lanes {
-		if !lane.Empty() {
-			return true
+// drainLane empties one claimed lane in batched runs: values are popped
+// drainBatchSize at a time and executed back to back, with the executed
+// counter published once per run rather than once per operation — the
+// consumer-side mirror of the flat path's PopBatch drain. It returns
+// whether anything was drained, and whether a termination object was
+// served (the loop must exit). Draining to empty is what makes the
+// claimed-then-cleared pending bit safe: any value pushed after the final
+// empty observation re-raises the bit.
+func (d *recDelegate) drainLane(lane *spsc.Lane[Invocation], buf []Invocation, executed *uint64) (drained, terminate bool) {
+	for {
+		n := lane.PopBatch(buf)
+		if n == 0 {
+			return drained, false
 		}
+		drained = true
+		d.drainBatches.Add(1)
+		d.drainedOps.Add(uint64(n))
+		for i := 0; i < n; i++ {
+			inv := &buf[i]
+			switch inv.kind {
+			case kindMethod:
+				inv.invoke(d.id)
+				*executed++
+			case kindSync:
+				// Publish progress before signaling: an observer of done
+				// must see every earlier invocation counted.
+				d.exec.Store(*executed)
+				close(inv.done)
+			case kindTerminate:
+				d.exec.Store(*executed)
+				close(inv.done)
+				clear(buf[:n])
+				return true, true
+			}
+		}
+		d.exec.Store(*executed)
+		// Drop payload references so executed invocations don't pin their
+		// closures and payloads until the buffer is refilled.
+		clear(buf[:n])
 	}
-	return false
-}
-
-func (d *recDelegate) signal() {
-	select {
-	case d.wake <- struct{}{}:
-	default:
-	}
-}
-
-// delegateFrom routes a delegation from any producer context in recursive
-// mode. Inline execution is not used: every set is owned by a delegate
-// (ProgramShare is rejected under Recursive), so ordering never depends on
-// which context produced the operation.
-func (rt *Runtime) delegateFrom(producer int, set uint64, fn func(ctx int)) int {
-	if rt.cfg.Sequential {
-		rt.stats.InlineExecs++
-		fn(ProgramContext)
-		return ProgramContext
-	}
-	if rt.rec.setProducer != nil {
-		rt.rec.checkProducer(set, producer)
-	}
-	owner := rt.vmap[set%uint64(len(rt.vmap))]
-	d := rt.rec.delegates[owner-1]
-	rt.rec.enqueued.Add(1)
-	d.lanes[producer].Push(Invocation{kind: kindMethod, set: set, fn: fn})
-	d.signal()
-	return owner
 }
 
 // recBarrier waits until every delegate has drained every lane and no
-// operation remains in flight: drain rounds repeat until the
-// enqueued/executed counters agree across a full quiet round.
+// operation remains in flight: sync rounds repeat until the
+// enqueued/executed ledgers agree across a full quiet round. The sums
+// aggregate single-writer per-producer and per-delegate counters — the
+// barrier is the only place the two sides of the ledger meet, so the
+// delegation hot path never touches shared quiescence state.
 func (rt *Runtime) recBarrier() {
+	rec := rt.rec
 	for {
-		before := rt.rec.enqueued.Load()
-		// Round: flush lane 0 (program) of every delegate with a sync
-		// object, which also forces each loop to pass over all lanes.
-		dones := make([]chan struct{}, 0, len(rt.rec.delegates))
-		for _, d := range rt.rec.delegates {
+		before := rec.enqSum()
+		dones := make([]chan struct{}, 0, len(rec.delegates))
+		for _, d := range rec.delegates {
 			done := make(chan struct{})
-			d.lanes[ProgramContext].Push(Invocation{kind: kindSync, done: done})
-			d.signal()
+			d.lanes[ProgramContext].PushBlocking(Invocation{kind: kindSync, done: done})
+			d.notify(ProgramContext)
 			dones = append(dones, done)
 		}
 		for _, done := range dones {
 			<-done
 		}
-		if rt.rec.executed.Load() == before && rt.rec.enqueued.Load() == before {
+		if rec.execSum() == before && rec.enqSum() == before {
 			return
 		}
 	}
@@ -202,8 +409,8 @@ func (rt *Runtime) recTerminate() {
 	rt.recBarrier()
 	for _, d := range rt.rec.delegates {
 		done := make(chan struct{})
-		d.lanes[ProgramContext].Push(Invocation{kind: kindTerminate, done: done})
-		d.signal()
+		d.lanes[ProgramContext].PushBlocking(Invocation{kind: kindTerminate, done: done})
+		d.notify(ProgramContext)
 		<-done
 	}
 }

@@ -285,8 +285,8 @@ func (rt *Runtime) BeginIsolation() {
 	if rt.setOwner != nil && len(rt.setOwner) > 0 {
 		rt.setOwner = make(map[uint64]*setEntry) // new epoch, new partition
 	}
-	if rt.rec != nil && rt.rec.setProducer != nil && len(rt.rec.setProducer) > 0 {
-		rt.rec.setProducer = make(map[uint64]int)
+	if rt.rec != nil && rt.rec.producers != nil {
+		rt.rec.producers.reset()
 	}
 	rt.clock.switchTo(PhaseIsolation, &rt.stats)
 }
@@ -498,19 +498,26 @@ func (rt *Runtime) Delegate(set uint64, fn func(ctx int)) int {
 // closure it takes a static trampoline plus two payload words, written by
 // value into the communication ring. Wrapper layers bind one trampoline per
 // wrapper type, so a steady-state DelegateCall performs no heap allocation
-// and O(1) work. Tracing and recursive mode fall back to the closure path
-// (both are off the measured configuration, as in the paper's evaluation).
+// and O(1) work — in recursive mode too, where the record is written into
+// the program context's ring lane on the set's owner. Only tracing falls
+// back to the closure path (off the measured configuration, as in the
+// paper's evaluation).
 func (rt *Runtime) DelegateCall(set uint64, tr Trampoline, p1, p2 unsafe.Pointer) int {
 	if rt.terminated {
 		panic("prometheus: Delegate after Terminate")
 	}
-	if rt.traceSt != nil || rt.rec != nil {
+	if rt.traceSt != nil {
 		return rt.Delegate(set, func(ctx int) { tr(ctx, p1, p2) })
 	}
 	if rt.cfg.Sequential {
 		rt.stats.InlineExecs++
 		tr(ProgramContext, p1, p2)
 		return ProgramContext
+	}
+	if rt.rec != nil {
+		rt.stats.Delegations++
+		return rt.recEnqueue(ProgramContext, set,
+			Invocation{kind: kindMethod, set: set, tramp: tr, p1: p1, p2: p2})
 	}
 	ctx, e := rt.assign(set)
 	if ctx == ProgramContext {
@@ -537,6 +544,29 @@ func (rt *Runtime) DelegateFrom(producer int, set uint64, fn func(ctx int)) int 
 		panic("prometheus: recursive delegation requires the Recursive option")
 	}
 	return rt.delegateFrom(producer, set, rt.traceExec(set, fn))
+}
+
+// DelegateFromCall is the zero-allocation counterpart of DelegateFrom: the
+// recursive-mode trampoline fast path for delegations issued from inside
+// delegated operations. Like DelegateCall it takes a static trampoline
+// plus two payload words and writes the invocation record by value into
+// the producer's ring lane on the set's owner — no closure, no heap
+// allocation, no contended counter. producer must be the context id
+// actually running the call. Tracing falls back to the closure path.
+func (rt *Runtime) DelegateFromCall(producer int, set uint64, tr Trampoline, p1, p2 unsafe.Pointer) int {
+	if rt.cfg.Sequential {
+		rt.stats.InlineExecs++
+		tr(ProgramContext, p1, p2)
+		return ProgramContext
+	}
+	if rt.rec == nil {
+		panic("prometheus: recursive delegation requires the Recursive option")
+	}
+	if rt.traceSt != nil {
+		return rt.delegateFrom(producer, set, rt.traceExec(set, func(ctx int) { tr(ctx, p1, p2) }))
+	}
+	return rt.recEnqueue(producer, set,
+		Invocation{kind: kindMethod, set: set, tramp: tr, p1: p1, p2: p2})
 }
 
 // Recursive reports whether recursive delegation is enabled.
@@ -646,9 +676,9 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 	if rt.rec != nil {
 		for i, t := range tasks {
 			d := rt.rec.delegates[i%len(rt.rec.delegates)]
-			rt.rec.enqueued.Add(1)
-			d.lanes[ProgramContext].Push(Invocation{kind: kindMethod, fn: t})
-			d.signal()
+			rt.rec.enq[ProgramContext].add(1)
+			d.lanes[ProgramContext].PushBlocking(Invocation{kind: kindMethod, fn: t})
+			d.notify(ProgramContext)
 		}
 		rt.recBarrier()
 		return
@@ -680,6 +710,16 @@ func (rt *Runtime) Stats() Stats {
 	for _, d := range rt.delegates {
 		st.DrainBatches += d.drainBatches.Load()
 		st.DrainedOps += d.drainedOps.Load()
+	}
+	if rt.rec != nil {
+		st.RecursiveOps = rt.rec.enqSum()
+		for _, d := range rt.rec.delegates {
+			st.DrainBatches += d.drainBatches.Load()
+			st.DrainedOps += d.drainedOps.Load()
+			for _, lane := range d.lanes {
+				st.Spills += lane.Spills()
+			}
+		}
 	}
 	clk := rt.clock
 	clk.switchTo(clk.phase, &st) // charge the open span without mutating rt

@@ -27,10 +27,10 @@ func (p Phase) String() string {
 }
 
 // Stats accumulates runtime counters and the per-phase wall-clock breakdown
-// used to regenerate Figure 5a. All fields except the drain counters are
-// maintained by the program context; DrainBatches and DrainedOps are
-// aggregated from per-delegate atomics when a snapshot is taken, so a
-// Stats() call may observe a drain mid-flight.
+// used to regenerate Figure 5a. All fields except the drain, recursive and
+// spill counters are maintained by the program context; those are
+// aggregated from per-delegate (and per-producer, and per-lane) atomics
+// when a snapshot is taken, so a Stats() call may observe work mid-flight.
 type Stats struct {
 	Delegations  uint64 // operations sent to delegate contexts
 	InlineExecs  uint64 // operations executed inline in the program context
@@ -42,6 +42,8 @@ type Stats struct {
 	Steals       uint64 // serialization sets handed off by the occupancy-aware rebalancer
 	DrainBatches uint64 // delegate-side batched drains (PopBatch runs executed)
 	DrainedOps   uint64 // invocations delivered through batched drains
+	RecursiveOps uint64 // invocations enqueued through recursive lanes (all producers)
+	Spills       uint64 // recursive-lane ring overflows absorbed by spill lists
 
 	Aggregation time.Duration
 	Isolation   time.Duration

@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/spsc"
 )
 
 // waitExecuted polls delegate ctx's published progress until it reaches n
@@ -185,11 +187,26 @@ func TestStealingConfigValidation(t *testing.T) {
 	}
 }
 
-// TestStealThresholdDefault: the zero value picks up DefaultStealThreshold.
+// TestStealThresholdDefault: the zero value derives the threshold from the
+// queue capacity (cap/4, clamped to [MinStealThreshold, MaxStealThreshold])
+// and an explicit setting always wins.
 func TestStealThresholdDefault(t *testing.T) {
-	c := Config{Delegates: 2, Policy: LeastLoaded, Stealing: true}.withDefaults()
-	if c.StealThreshold != DefaultStealThreshold {
-		t.Fatalf("StealThreshold = %d, want %d", c.StealThreshold, DefaultStealThreshold)
+	for _, tc := range []struct {
+		queueCap, explicit, want int
+	}{
+		{0, 0, spsc.DefaultCapacity / 4}, // default 256-slot ring -> 64
+		{128, 0, 32},                     // in-range: cap/4
+		{8, 0, MinStealThreshold},        // tiny ring clamps up
+		{4096, 0, MaxStealThreshold},     // deep ring clamps down
+		{0, 3, 3},                        // explicit override wins
+		{8, 100, 100},                    // explicit override wins over clamp
+	} {
+		c := Config{Delegates: 2, Policy: LeastLoaded, Stealing: true,
+			QueueCapacity: tc.queueCap, StealThreshold: tc.explicit}.withDefaults()
+		if c.StealThreshold != tc.want {
+			t.Errorf("QueueCapacity=%d StealThreshold=%d: derived %d, want %d",
+				tc.queueCap, tc.explicit, c.StealThreshold, tc.want)
+		}
 	}
 }
 

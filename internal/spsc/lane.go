@@ -1,0 +1,269 @@
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Lane is the SPSC queue variant behind recursive delegation: a bounded
+// lap-stamped value ring (same slot machinery as Queue) backed by an
+// unbounded linked-list spill that absorbs overflow, so the producer-side
+// Push NEVER blocks. Recursive mode needs that property for deadlock
+// freedom: a delegate may delegate to a set it itself owns — or to a peer
+// that is simultaneously delegating back — and a bounded queue's blocking
+// push could then wait on a lane only the blocked context (or a blocked
+// cycle of contexts) could drain. In steady state the ring absorbs all
+// traffic and a push writes the invocation record by value with zero heap
+// allocations; only overflow pays one node allocation per value.
+//
+// FIFO across the two tiers is preserved by a sticky spill mode: once a
+// value spills, every later push spills too, until the producer observes
+// (via the published spillPopped counter) that the consumer has drained
+// the entire spill list — only then may the ring be used again. The
+// consumer always drains ring before spill, which is correct because the
+// resume rule makes "ring values present are older than spill values
+// present" an invariant.
+//
+// PushBlocking is the complementary producer call for contexts that are
+// never part of a delegation cycle (the program context, which no delegate
+// can block on): it parks on ring-full instead of spilling, giving the
+// natural backpressure a bounded queue provides. A lane whose producer
+// only calls PushBlocking never allocates after construction. The two push
+// styles may not be interleaved while a spill is outstanding; the runtime
+// uses exactly one style per lane (program lanes block, delegate lanes
+// spill), so the case never arises.
+//
+// Unlike Queue, a Lane publishes no pushed/popped counters and performs no
+// consumer-side wake signaling: readiness tracking and consumer parking
+// belong to the recursive delegate's pending-lane bitmask (one word for
+// all lanes, maintained by the runtime), which replaces per-lane O(lanes)
+// polling with an O(1) check. The lane only keeps the producer-side park
+// machinery that PushBlocking needs.
+type Lane[T any] struct {
+	slots []slot[T]
+	mask  uint64
+	shift uint // log2(capacity), for lap computation
+
+	_    pad
+	head uint64 // consumer cursor: next ring slot to read (consumer-private)
+	// spillHead is the consumer's end of the spill list (stub-node form).
+	spillHead *unode[T]
+
+	_    pad
+	tail uint64 // producer cursor: next ring slot to write (producer-private)
+	// spillTail is the producer's end of the spill list.
+	spillTail *unode[T]
+	// spilling records sticky spill mode (producer-private): set when a
+	// push overflows the ring, cleared when the producer observes the
+	// consumer has drained the whole spill list.
+	spilling bool
+
+	_ pad
+	// spillPushed counts values ever spilled (producer publishes; doubles
+	// as the runtime's spill statistic).
+	spillPushed atomic.Uint64
+	// spillPopped counts spilled values consumed (consumer publishes); the
+	// producer compares it against spillPushed to leave spill mode.
+	spillPopped atomic.Uint64
+	// producerSleep/wakeProducer park a PushBlocking caller on ring-full.
+	producerSleep atomic.Int32
+	wakeProducer  chan struct{}
+}
+
+// NewLane returns a lane with ring capacity rounded up to a power of two
+// (DefaultCapacity when non-positive). Like NewQueue, construction is O(1)
+// in touched memory: the zero-valued slots mean "free for lap 0".
+func NewLane[T any](capacity int) *Lane[T] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	c := 1
+	shift := uint(0)
+	for c < capacity {
+		c <<= 1
+		shift++
+	}
+	stub := &unode[T]{}
+	return &Lane[T]{
+		slots:        make([]slot[T], c),
+		mask:         uint64(c - 1),
+		shift:        shift,
+		spillHead:    stub,
+		spillTail:    stub,
+		wakeProducer: make(chan struct{}, 1),
+	}
+}
+
+func (l *Lane[T]) freeStamp(p uint64) uint64 { return (p >> l.shift) << 1 }
+func (l *Lane[T]) fullStamp(p uint64) uint64 { return (p>>l.shift)<<1 | 1 }
+
+// Cap returns the ring capacity (the spill tier is unbounded).
+func (l *Lane[T]) Cap() int { return len(l.slots) }
+
+// Spills returns how many values have overflowed to the spill list since
+// construction. Safe from any goroutine.
+func (l *Lane[T]) Spills() uint64 { return l.spillPushed.Load() }
+
+// pushSpill appends v to the spill list and publishes the spill count. The
+// node is linked before the count is published, so a producer that later
+// observes spillPopped == spillPushed knows the consumer has consumed
+// every node it linked.
+func (l *Lane[T]) pushSpill(v T) {
+	n := &unode[T]{val: v}
+	l.spillTail.next.Store(n)
+	l.spillTail = n
+	l.spillPushed.Store(l.spillPushed.Load() + 1) // single writer
+}
+
+// tryRing writes v into the ring if spill mode is off and a slot is free.
+func (l *Lane[T]) tryRing(v T) bool {
+	s := &l.slots[l.tail&l.mask]
+	if s.seq.Load() != l.freeStamp(l.tail) {
+		return false // ring full: consumer has not freed this slot yet
+	}
+	s.val = v
+	s.seq.Store(l.fullStamp(l.tail))
+	l.tail++
+	return true
+}
+
+// Push inserts v without ever blocking, spilling to the unbounded list on
+// ring overflow. It reports whether the value spilled. Producer method.
+func (l *Lane[T]) Push(v T) (spilled bool) {
+	if l.spilling {
+		if l.spillPopped.Load() != l.spillPushed.Load() {
+			l.pushSpill(v)
+			return true
+		}
+		// The consumer has drained the whole spill list; anything it pops
+		// from the ring from here on was pushed after every spilled value
+		// was consumed, so ring-first drain order stays FIFO.
+		l.spilling = false
+	}
+	if l.tryRing(v) {
+		return false
+	}
+	l.spilling = true
+	l.pushSpill(v)
+	return true
+}
+
+// PushBlocking inserts v, parking while the ring is full, and never
+// spills (unless a spill from a prior Push is still outstanding, in which
+// case FIFO requires joining it). For producers that nothing in the
+// consumer's progress can depend on — the runtime's program context.
+// Producer method.
+func (l *Lane[T]) PushBlocking(v T) {
+	if l.spilling {
+		if l.spillPopped.Load() != l.spillPushed.Load() {
+			l.pushSpill(v)
+			return
+		}
+		l.spilling = false
+	}
+	for spin := 0; ; {
+		if l.tryRing(v) {
+			return
+		}
+		spin++
+		if spin < spinBeforePark {
+			if spin%16 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Park until the consumer frees a slot. Re-check after arming the
+		// sleep flag to avoid a lost wakeup.
+		l.producerSleep.Store(sleeping)
+		if l.slots[l.tail&l.mask].seq.Load() == l.freeStamp(l.tail) {
+			l.producerSleep.Store(awake)
+			continue
+		}
+		<-l.wakeProducer
+		l.producerSleep.Store(awake)
+		spin = 0
+	}
+}
+
+// TryPop removes and returns the oldest value without blocking; ok is
+// false when the lane is empty. Ring before spill — see the type comment
+// for why that order is FIFO. Consumer method.
+func (l *Lane[T]) TryPop() (T, bool) {
+	var zero T
+	s := &l.slots[l.head&l.mask]
+	if s.seq.Load() == l.fullStamp(l.head) {
+		v := s.val
+		s.val = zero // drop references for GC
+		s.seq.Store(l.freeStamp(l.head + uint64(len(l.slots))))
+		l.head++
+		l.signalProducer()
+		return v, true
+	}
+	if next := l.spillHead.next.Load(); next != nil {
+		v := next.val
+		next.val = zero
+		l.spillHead = next
+		l.spillPopped.Store(l.spillPopped.Load() + 1) // single writer
+		return v, true
+	}
+	return zero, false
+}
+
+// PopBatch removes up to len(dst) values into dst without blocking and
+// returns how many were transferred. Ring slots are re-stamped free as
+// they are read (there is no external Len reader to keep consistent, and a
+// parked PushBlocking producer should resume as soon as possible); the
+// spill-popped counter is published once per run. Consumer method.
+func (l *Lane[T]) PopBatch(dst []T) int {
+	var zero T
+	n := 0
+	for n < len(dst) {
+		s := &l.slots[l.head&l.mask]
+		if s.seq.Load() != l.fullStamp(l.head) {
+			break
+		}
+		dst[n] = s.val
+		s.val = zero // drop references for GC before the slot is freed
+		s.seq.Store(l.freeStamp(l.head + uint64(len(l.slots))))
+		l.head++
+		n++
+	}
+	m := 0
+	for n < len(dst) {
+		next := l.spillHead.next.Load()
+		if next == nil {
+			break
+		}
+		dst[n] = next.val
+		next.val = zero
+		l.spillHead = next
+		n++
+		m++
+	}
+	if m > 0 {
+		l.spillPopped.Store(l.spillPopped.Load() + uint64(m))
+	}
+	if n > 0 {
+		l.signalProducer()
+	}
+	return n
+}
+
+// Empty reports whether the lane holds no values. Consumer method (it
+// reads the consumer cursor) — a test/diagnostic helper: the runtime's
+// delegate loop never polls lanes for emptiness, it tracks readiness
+// through its pending-lane bitmask and re-checks that (not this) before
+// parking.
+func (l *Lane[T]) Empty() bool {
+	return l.slots[l.head&l.mask].seq.Load() != l.fullStamp(l.head) &&
+		l.spillHead.next.Load() == nil
+}
+
+func (l *Lane[T]) signalProducer() {
+	if l.producerSleep.Load() == sleeping {
+		select {
+		case l.wakeProducer <- struct{}{}:
+		default:
+		}
+	}
+}

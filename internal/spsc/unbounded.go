@@ -2,50 +2,12 @@ package spsc
 
 import "sync/atomic"
 
-// Unbounded is an unbounded lock-free SPSC queue (a Vyukov-style linked
-// list) carrying T values in its nodes. The recursive-delegation extension
-// uses it for its per-producer lanes: a delegate may delegate to a set it
-// itself owns, and with a bounded queue the push could block on a lane only
-// the pushing context can drain — a self-deadlock. Unbounded lanes make
-// recursive delegation deadlock-free by construction, trading the bounded
-// ring's zero-allocation behaviour for safety on a path where operations
-// are coarse anyway (one node allocation per push, value stored inline).
-type Unbounded[T any] struct {
-	head *unode[T] // consumer-private
-	tail *unode[T] // producer-private
-}
-
+// unode is a node of the unbounded SPSC linked list (Vyukov-style,
+// stub-node form) that backs Lane's spill tier: when a lane's bounded ring
+// overflows, values are carried in these nodes — one allocation per
+// spilled value, with the value stored inline — until the consumer drains
+// the list and the producer returns to the ring.
 type unode[T any] struct {
 	next atomic.Pointer[unode[T]]
 	val  T
 }
-
-// NewUnbounded returns an empty queue.
-func NewUnbounded[T any]() *Unbounded[T] {
-	stub := &unode[T]{}
-	return &Unbounded[T]{head: stub, tail: stub}
-}
-
-// Push appends v. Never blocks. Producer-only.
-func (q *Unbounded[T]) Push(v T) {
-	n := &unode[T]{val: v}
-	q.tail.next.Store(n)
-	q.tail = n
-}
-
-// TryPop removes and returns the next value; ok is false if the queue is
-// empty. Consumer-only.
-func (q *Unbounded[T]) TryPop() (T, bool) {
-	var zero T
-	next := q.head.next.Load()
-	if next == nil {
-		return zero, false
-	}
-	v := next.val
-	next.val = zero // release for GC
-	q.head = next
-	return v, true
-}
-
-// Empty reports whether the queue appears empty to the consumer.
-func (q *Unbounded[T]) Empty() bool { return q.head.next.Load() == nil }

@@ -2,6 +2,7 @@ package prometheus
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/core"
 )
@@ -45,14 +46,25 @@ func (c *Ctx) ID() int { return c.id }
 // Runtime returns the owning runtime.
 func (c *Ctx) Runtime() *Runtime { return c.rt }
 
+// ctxTramp is the Ctx.Delegate trampoline: one static function shared by
+// every recursive delegation, so issuing one builds no per-call closure.
+// p1 is the Runtime, p2 the user callback's funcval pointer.
+func ctxTramp(ctx int, p1, p2 unsafe.Pointer) {
+	rt := (*Runtime)(p1)
+	fn := ptrFunc[func(*Ctx)](p2)
+	fn(&rt.ctxs[ctx])
+}
+
 // Delegate assigns fn to the given serialization set from inside a
 // delegated operation (recursive delegation; requires the Recursive
 // option). Per-set ordering follows the delegating context's program
 // order; a set must not receive delegations from two different contexts in
-// one isolation epoch.
+// one isolation epoch. Steady state this is the same zero-allocation
+// trampoline fast path the root wrappers use: the invocation record is
+// written by value into the producer's ring lane on the set's owner.
 func (c *Ctx) Delegate(set uint64, fn func(c *Ctx)) {
 	rt := c.rt
-	rt.core.DelegateFrom(c.id, set, func(id int) { fn(&rt.ctxs[id]) })
+	rt.core.DelegateFromCall(c.id, set, ctxTramp, unsafe.Pointer(rt), funcPtr(fn))
 }
 
 // Option configures Init.
@@ -69,7 +81,9 @@ func WithVirtualDelegates(n int) Option { return func(c *core.Config) { c.Virtua
 // (the paper's assignment ratio); their operations execute inline.
 func WithProgramShare(n int) Option { return func(c *core.Config) { c.ProgramShare = n } }
 
-// WithQueueCapacity sets the per-delegate communication queue capacity.
+// WithQueueCapacity sets the per-delegate communication queue capacity; in
+// recursive mode it sizes each producer lane's bounded ring (overflow
+// spills to an unbounded list, so small rings stay deadlock-free).
 func WithQueueCapacity(n int) Option { return func(c *core.Config) { c.QueueCapacity = n } }
 
 // WithDelegateBatch bounds the program context's delegation buffer: runs of
@@ -99,9 +113,12 @@ func WithPolicy(p SchedPolicy) Option { return func(c *core.Config) { c.Policy =
 func WithStealing() Option { return func(c *core.Config) { c.Stealing = true } }
 
 // WithStealThreshold sets the victim backlog (outstanding operations) at
-// which stealing engages (default core.DefaultStealThreshold). Lower values
-// rebalance skew sooner; higher values keep ownership stickier under
-// transient pipelining. Ignored without WithStealing.
+// which stealing engages. When unset the threshold adapts to the queue
+// capacity (QueueCapacity/4, clamped to [core.MinStealThreshold,
+// core.MaxStealThreshold]): deep rings tolerate deeper backlogs before a
+// handoff pays. Lower values rebalance skew sooner; higher values keep
+// ownership stickier under transient pipelining. Ignored without
+// WithStealing.
 func WithStealThreshold(n int) Option { return func(c *core.Config) { c.StealThreshold = n } }
 
 // Sequential builds the runtime in the paper's debug mode (§3.3): all

@@ -1,0 +1,192 @@
+package prometheus_test
+
+// Determinism stress for the recursive-delegation engine, in the shapes
+// the paper names as recursive delegation's motivating workloads (§4):
+// quicksort (divide-and-conquer over a mutable slice) and FPM-style
+// streaming (a root operation fanning item streams into per-group sets,
+// which delegate a second level of work). The engine's contract is that
+// per-set operation order equals the producing context's program order —
+// independent of scheduling, lane occupancy, and the ring/spill boundary —
+// so every run must produce byte-identical per-set logs. Each shape runs
+// >= 6 times, in the default-ring configuration and in a tiny-ring
+// configuration that forces the lane-overflow spill path (asserted via
+// Stats.Spills where overflow is structurally guaranteed), with Checked
+// mode enforcing the one-producer-per-set discipline throughout. The CI
+// recursive-stress job repeats this file under -race.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	prometheus "repro"
+)
+
+// qsNode recursively sorts data[lo:hi], recording one structure line per
+// tree node into the reducible map keyed by the node's deterministic id
+// (root 1, children 2*id and 2*id+1 — the recursion tree is a function of
+// the input alone, so ids are stable across runs). Child ranges are
+// delegated to serialization sets named by the child ids: each set's sole
+// producer is the parent node's executing context.
+func qsNode(c *prometheus.Ctx, rec *prometheus.Reducible[map[uint64]string],
+	data []int32, id uint64, lo, hi int) {
+	const cutoff = 64
+	slice := data[lo:hi]
+	if hi-lo < cutoff || id > 1<<55 {
+		sort.Slice(slice, func(i, j int) bool { return slice[i] < slice[j] })
+		rec.Update(c, func(m *map[uint64]string) {
+			(*m)[id] = fmt.Sprintf("leaf %d:%d", lo, hi)
+		})
+		return
+	}
+	pivot := slice[len(slice)/2]
+	i, j := 0, len(slice)-1
+	for i <= j {
+		for slice[i] < pivot {
+			i++
+		}
+		for slice[j] > pivot {
+			j--
+		}
+		if i <= j {
+			slice[i], slice[j] = slice[j], slice[i]
+			i++
+			j--
+		}
+	}
+	mid := lo + i
+	rec.Update(c, func(m *map[uint64]string) {
+		(*m)[id] = fmt.Sprintf("node %d:%d pivot %d split %d", lo, hi, pivot, mid)
+	})
+	left, right := 2*id, 2*id+1
+	c.Delegate(left, func(c2 *prometheus.Ctx) { qsNode(c2, rec, data, left, lo, lo+j+1) })
+	c.Delegate(right, func(c2 *prometheus.Ctx) { qsNode(c2, rec, data, right, mid, hi) })
+}
+
+// quicksortRun executes one full recursive quicksort and returns a
+// canonical string of the recursion structure plus the sorted output.
+func quicksortRun(t *testing.T, queueCap int) string {
+	t.Helper()
+	rt := prometheus.Init(prometheus.WithDelegates(4), prometheus.Recursive(),
+		prometheus.Checked(), prometheus.WithQueueCapacity(queueCap))
+	defer rt.Terminate()
+	const n = 4096
+	rng := rand.New(rand.NewSource(7))
+	data := make([]int32, n)
+	for i := range data {
+		data[i] = int32(rng.Intn(1 << 20))
+	}
+	rec := prometheus.NewReducible(rt,
+		func() map[uint64]string { return map[uint64]string{} },
+		func(dst, src *map[uint64]string) {
+			for k, v := range *src {
+				(*dst)[k] = v
+			}
+		})
+	w := prometheus.NewWritable(rt, data)
+	rt.BeginIsolation()
+	w.Delegate(func(c *prometheus.Ctx, d *[]int32) { qsNode(c, rec, *d, 1, 0, len(*d)) })
+	rt.EndIsolation()
+	m := *rec.Result()
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ""
+	for _, id := range ids {
+		out += fmt.Sprintf("%d=%s\n", id, m[id])
+	}
+	if !sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }) {
+		t.Fatal("quicksort output not sorted")
+	}
+	return out + fmt.Sprint(data)
+}
+
+func TestRecursiveQuicksortDeterminism(t *testing.T) {
+	// queueCap 0 is the default 256-slot ring; 8 keeps lanes tiny so bursts
+	// of sibling delegations overflow into the spill path mid-recursion.
+	for _, queueCap := range []int{0, 8} {
+		first := quicksortRun(t, queueCap)
+		for run := 1; run < 6; run++ {
+			if got := quicksortRun(t, queueCap); got != first {
+				t.Fatalf("queueCap=%d: run %d diverged from run 0:\n--- run0\n%.400s\n--- run%d\n%.400s",
+					queueCap, run, first, run, got)
+			}
+		}
+	}
+}
+
+// fpmRun executes one FPM-shaped epoch: a root operation streams items
+// round-robin into per-group serialization sets (first level), and each
+// group operation periodically delegates a second-level operation to its
+// group's conditional set. Per-set logs must replay the producer's program
+// order exactly. Returns the canonical log string and the spill count.
+func fpmRun(t *testing.T, queueCap int) (string, uint64) {
+	t.Helper()
+	rt := prometheus.Init(prometheus.WithDelegates(3), prometheus.Recursive(),
+		prometheus.Checked(), prometheus.WithQueueCapacity(queueCap))
+	defer rt.Terminate()
+	const (
+		groups = 8
+		items  = 2000
+	)
+	logs := make([][]int32, groups)  // first-level per-set logs
+	logs2 := make([][]int32, groups) // second-level per-set logs
+	w := prometheus.NewWritable(rt, 0)
+	rt.BeginIsolation()
+	w.Delegate(func(c *prometheus.Ctx, _ *int) {
+		for i := 0; i < items; i++ {
+			i := i
+			g := i % groups
+			c.Delegate(uint64(100+g), func(c2 *prometheus.Ctx) {
+				logs[g] = append(logs[g], int32(i))
+				if i%7 == 0 {
+					c2.Delegate(uint64(200+g), func(*prometheus.Ctx) {
+						logs2[g] = append(logs2[g], int32(i))
+					})
+				}
+			})
+		}
+	})
+	rt.EndIsolation()
+	spills := rt.Stats().Spills
+	return fmt.Sprint(logs, logs2), spills
+}
+
+func TestRecursiveFPMStreamDeterminism(t *testing.T) {
+	// Expected logs are pure program order: group g sees g, g+8, g+16, ...
+	// and its conditional set the i%7==0 subsequence of that.
+	var want string
+	{
+		logs := make([][]int32, 8)
+		logs2 := make([][]int32, 8)
+		for i := 0; i < 2000; i++ {
+			g := i % 8
+			logs[g] = append(logs[g], int32(i))
+			if i%7 == 0 {
+				logs2[g] = append(logs2[g], int32(i))
+			}
+		}
+		want = fmt.Sprint(logs, logs2)
+	}
+	for _, queueCap := range []int{0, 4} {
+		for run := 0; run < 6; run++ {
+			got, spills := fpmRun(t, queueCap)
+			if got != want {
+				t.Fatalf("queueCap=%d run %d: per-set op order diverged from program order", queueCap, run)
+			}
+			// With 3 delegates the root operation's context owns groups 2
+			// and 5, so ~500 first-level delegations are self-delegations
+			// that cannot drain until the root returns: with 4-slot rings
+			// the spill path is structurally guaranteed to engage.
+			if queueCap == 4 && spills == 0 {
+				t.Fatalf("run %d: tiny lanes never spilled — spill path not exercised", run)
+			}
+			if queueCap == 0 && run == 0 && spills > 0 {
+				t.Logf("default rings spilled %d (allowed, informational)", spills)
+			}
+		}
+	}
+}

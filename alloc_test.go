@@ -212,6 +212,30 @@ func TestRecursiveNestedDelegateZeroAlloc(t *testing.T) {
 	requireZeroAllocs(t, "Recursive Ctx.Delegate burst + drain", fire)
 }
 
+func TestRecursiveStealingDelegateZeroAlloc(t *testing.T) {
+	// The recursive-stealing hot path adds an owner-table lookup (the
+	// uint64-specialized table — a sync.Map would box every set id above
+	// 255), the O(producers) occupancy/quiescence counter reads, and the
+	// lane-position stores. All of it must stay allocation-free; the set
+	// ids are >= 256 on purpose so any interface boxing would show up.
+	rt := prometheus.Init(prometheus.WithDelegates(2), prometheus.Recursive(),
+		prometheus.WithPolicy(prometheus.LeastLoaded),
+		prometheus.WithStealing(), prometheus.WithStealThreshold(1))
+	defer rt.Terminate()
+	ws := make([]*prometheus.Writable[int], 4)
+	for i := range ws {
+		ws[i] = prometheus.NewWritable(rt, 0)
+	}
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	for i := 0; i < allocWarmup; i++ {
+		ws[i%4].DelegateTo(1000+uint64(i%4), func(c *prometheus.Ctx, p *int) { *p++ })
+	}
+	requireZeroAllocs(t, "Recursive stealing Writable.DelegateTo", func() {
+		ws[2].DelegateTo(1002, func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}
+
 func TestSequentialInlineZeroAlloc(t *testing.T) {
 	// Debug mode runs the same trampoline inline; it must be free too.
 	rt := prometheus.Init(prometheus.Sequential())

@@ -1,0 +1,81 @@
+package prometheus_test
+
+// BenchmarkRecursiveSkewed is the recursive engine's imbalance scenario —
+// the workload shape PR 4's whole-set stealing exists for. A delegate-
+// context producer streams a 90/10-skewed stream: 90% of operations land
+// on four hot sets that all seed on delegate 1 under the static
+// assignment, the rest on cold sets spread across the other delegates.
+// Operations block briefly (a stand-in for I/O-bound delegate work), so
+// rebalancing shows up in wall clock even on a single-CPU host: without
+// stealing, delegate 1 serializes ~90% of the sleeps while its peers
+// idle; with stealing, the hot sets migrate to idle delegates at their
+// first quiescent boundary (the wave markers provide them) and the
+// blocked time overlaps.
+//
+// The production is wave-throttled — a delegate producer never blocks, so
+// an unthrottled stream would just grow the lanes without bounding
+// occupancy — which is also the natural shape of a real recursive
+// producer that needs back-pressure.
+//
+// The "steal" variant runs the full subsystem as configured by default:
+// the in-epoch adaptive threshold has to pull the capacity-derived
+// threshold (64) down to where the wave occupancy triggers handoffs
+// before any steal can fire, so the EWMA machinery is on the measured
+// path. cmd/benchgate gates these variants against BENCH_PR4.json,
+// normalized by the nosteal variant: the numbers are dominated by sleeps
+// whose effective duration varies by host, but the steal/nosteal ratio —
+// the win itself — does not.
+
+import (
+	"testing"
+	"time"
+
+	prometheus "repro"
+	"repro/internal/workload"
+)
+
+func BenchmarkRecursiveSkewed(b *testing.B) {
+	// 4 delegates, VirtualDelegates 16: set s < 16 seeds on delegate
+	// s%4+1. Root set 1 -> delegate 2 (the producer); hot sets -> delegate
+	// 1; cold sets -> delegates 3 and 4. 10 waves of 36 operations (runs
+	// of 8 per hot set + 4 cold, 90/10 skew): see workload.SkewedRecursive
+	// for why the run structure is what opens the rebalancer's window.
+	shape := workload.SkewedRecursive{
+		Hot:    []uint64{0, 4, 8, 12},
+		Cold:   []uint64{2, 6, 3, 7},
+		Waves:  10,
+		RunLen: 8,
+	}
+	blockingOp := func(*prometheus.Ctx) { time.Sleep(20 * time.Microsecond) }
+	sharedOp := func(uint64, int32) func(*prometheus.Ctx) { return blockingOp }
+	run := func(b *testing.B, opts ...prometheus.Option) {
+		var steals, adjusts uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			all := append([]prometheus.Option{prometheus.WithDelegates(4), prometheus.Recursive()}, opts...)
+			rt := prometheus.Init(all...)
+			w := prometheus.NewWritable(rt, 0)
+			b.StartTimer()
+			rt.BeginIsolation()
+			w.DelegateTo(1, func(c *prometheus.Ctx, _ *int) { shape.Run(c, sharedOp) })
+			rt.EndIsolation() // barrier: include completing the backlog
+			b.StopTimer()
+			st := rt.Stats()
+			steals += st.Steals
+			adjusts += st.ThresholdAdjusts
+			rt.Terminate()
+		}
+		b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+		b.ReportMetric(float64(adjusts)/float64(b.N), "thradjusts/op")
+	}
+	b.Run("nosteal", func(b *testing.B) { run(b) })
+	b.Run("steal", func(b *testing.B) {
+		run(b, prometheus.WithPolicy(prometheus.LeastLoaded), prometheus.WithStealing())
+	})
+	// Explicit eager threshold: isolates the handoff protocol's benefit
+	// from the adaptive threshold's convergence time.
+	b.Run("steal-thr4", func(b *testing.B) {
+		run(b, prometheus.WithPolicy(prometheus.LeastLoaded), prometheus.WithStealing(),
+			prometheus.WithStealThreshold(4))
+	})
+}

@@ -1,12 +1,14 @@
 // Command benchgate is the CI regression gate for the delegation hot
 // paths: it reads `go test -bench` output on stdin, extracts the
-// BenchmarkDelegateOverhead and BenchmarkRecursiveOverhead variants, and
-// compares them against the numbers recorded in one or more PR benchmark
-// baselines (-baseline may be repeated: BENCH_PR1.json carries the flat
-// path's delegate_overhead_variants_after table, BENCH_PR3.json the
-// recursive engine's recursive_overhead_variants_after table). It exits
-// nonzero when a variant regresses by more than -max-regress-pct, or when
-// a 0 allocs/op variant starts allocating.
+// BenchmarkDelegateOverhead, BenchmarkRecursiveOverhead, and
+// BenchmarkRecursiveSkewed variants, and compares them against the
+// numbers recorded in one or more PR benchmark baselines (-baseline may
+// be repeated: BENCH_PR1.json carries the flat path's
+// delegate_overhead_variants_after table, BENCH_PR3.json the recursive
+// engine's recursive_overhead_variants_after table, BENCH_PR4.json the
+// recursive-stealing skewed workload's recursive_skewed_variants_after
+// table). It exits nonzero when a variant regresses by more than
+// -max-regress-pct, or when a variant's allocs/op exceed the baseline's.
 //
 // Raw ns/op is not portable across machines, so -normalize names a canary
 // variant (sequential-inline: one trampoline call, no queues, no
@@ -37,12 +39,21 @@ import (
 )
 
 // baselineFile mirrors the slice of the BENCH_PR*.json schema the gate
-// reads; unknown fields are ignored. A file may carry either or both
+// reads; unknown fields are ignored. A file may carry any subset of the
 // variant tables.
 type baselineFile struct {
-	PR                int                        `json:"pr"`
-	DelegateVariants  map[string]baselineVariant `json:"delegate_overhead_variants_after"`
+	PR               int                        `json:"pr"`
+	DelegateVariants map[string]baselineVariant `json:"delegate_overhead_variants_after"`
+	// RecursiveVariants gates the recursive hot path (BENCH_PR3.json).
 	RecursiveVariants map[string]baselineVariant `json:"recursive_overhead_variants_after"`
+	// SkewedVariants gates the recursive-stealing skewed workload
+	// (BENCH_PR4.json). Its numbers are sleep-bound, so gate it in a
+	// separate invocation normalized by its own "nosteal" variant: the
+	// steal/nosteal ratio — the stealing win itself — is what's pinned,
+	// and host differences in effective sleep duration cancel out. The
+	// CPU-speed canary would be the wrong normalizer for a sleep-bound
+	// table.
+	SkewedVariants map[string]baselineVariant `json:"recursive_skewed_variants_after"`
 }
 
 type baselineVariant struct {
@@ -127,8 +138,15 @@ func main() {
 				variants: base.RecursiveVariants,
 			})
 		}
-		if len(base.DelegateVariants) == 0 && len(base.RecursiveVariants) == 0 {
-			fatalf("baseline %s has no *_overhead_variants_after table", path)
+		if len(base.SkewedVariants) > 0 {
+			tables = append(tables, &gateTable{
+				bench: "BenchmarkRecursiveSkewed", source: path, pr: base.PR,
+				variants: base.SkewedVariants,
+			})
+		}
+		if len(base.DelegateVariants) == 0 && len(base.RecursiveVariants) == 0 &&
+			len(base.SkewedVariants) == 0 {
+			fatalf("baseline %s has no *_variants_after table", path)
 		}
 	}
 

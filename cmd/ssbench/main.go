@@ -25,6 +25,7 @@ func main() {
 		reps         = flag.Int("reps", 1, "timing repetitions (best-of)")
 		appsFlag     = flag.String("apps", "", "comma-separated benchmark filter (default: all)")
 		maxDelegates = flag.Int("max-delegates", 15, "fig6: largest delegate count")
+		stealThresh  = flag.Int("steal-threshold", 0, "ablation: explicit StealThreshold for the A5/A6 stealing runs (0 = adaptive default)")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 	if *appsFlag != "" {
 		apps = strings.Split(*appsFlag, ",")
 	}
-	opts := harness.Options{Size: size, Reps: *reps, Apps: apps}
+	opts := harness.Options{Size: size, Reps: *reps, Apps: apps, StealThreshold: *stealThresh}
 
 	run := func(name string) error {
 		switch name {

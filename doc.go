@@ -167,10 +167,69 @@
 // spill alike — and determinism requires each set to have one producer
 // context per isolation epoch, which Checked() enforces with a sharded
 // producer table. Stats reports RecursiveOps and Spills alongside the
-// drain counters.
+// drain counters. Spill nodes are recycled through a per-lane freelist
+// backed by a pool shared across a runtime's lanes, so sustained spilling
+// (delegation cycles, self-delegation) settles at zero steady-state
+// allocations too.
+//
+// # Recursive whole-set stealing: the multi-producer quiescent handoff
+//
+// Combining Recursive with WithPolicy(LeastLoaded)+WithStealing enables
+// rebalancing in recursive mode, where the flat protocol's safety
+// argument no longer suffices: a flat set has one producer (the program
+// context), so "newest position <= owner's executed count" is one
+// comparison — but a recursive set's operations arrive from many producer
+// contexts, each through its own SPSC lane, and an executed counter that
+// ignored one producer's lane could declare a set quiescent while that
+// lane still carries its operations. Quiescence must therefore cover
+// EVERY producer's sent counter: each producer counts the messages it
+// pushes into each delegate's lane, the owner table records, per
+// producer, the lane position of the set's newest operation, and each
+// delegate publishes per-lane executed counters at its drain-run
+// boundaries. A set may move only when every recorded position is covered
+// by the owner's matching per-lane executed counter.
+//
+// The handoff itself takes no lock and needs no victim-side
+// acknowledgment handshake: the victim's per-lane executed publishes at
+// drain-run boundaries ARE the acknowledgment — lanes are FIFO, so an
+// executed count at or past a position proves that operation and its
+// whole lane prefix have finished — and the per-set epoch stamp (bumped
+// once per handoff, after the new owner is published) lets any observer
+// on the drain or delegation path order what it read against a concurrent
+// migration without a mutex. Since only the set's single producer routes
+// operations to it, the migration is a single-writer update observed
+// through those atomics.
+//
+// Two placement rules keep the engine from manufacturing hazards the
+// program didn't write: a set is never handed to its own producer's
+// context (that would silently turn its operations into self-delegations
+// the producer may be blocked waiting on), and a migration additionally
+// requires the victim's own outbound lanes to be drained, because moving
+// a set also moves the producer role of its operations — nested sets they
+// delegate to must not have old-lane operations still in flight when
+// delegations start arriving through the thief's lanes (recRoute verifies
+// the property per nested set; Checked mode turns a violation into a
+// panic). The producer discipline sharpens accordingly: under stealing, a
+// set must receive its delegations from the operations of a single
+// producing set (or from the program context) per epoch — one producing
+// SET, not merely one context — so that a migration of the producing set
+// moves all of the nested set's delegations together.
+//
+// On top of the handoff protocol sit two placement heuristics: hot-set
+// seeded placement — BeginIsolation ranks the closing epoch's sets by
+// delegated-op count (near-free from the owner table) and pre-places the
+// top few round-robin across delegates, instead of letting first-touch
+// assignment pile them onto whichever delegate looked emptiest at the
+// epoch's first instant — and an in-epoch adaptive steal threshold, an
+// EWMA of the max/min delegate-occupancy ratio sampled at drain-run
+// boundaries that pulls the capacity-derived threshold toward its clamp
+// floor in skewed epochs and keeps ownership sticky in balanced ones.
+// Stats reports Steals, Handoffs, ThresholdAdjusts, and HotSetsPlaced for
+// all of it.
 //
 // BenchmarkDelegateOverhead, BenchmarkRecursiveOverhead, BenchmarkSPSC,
-// BenchmarkLane and BenchmarkCoreDelegateSkewed measure these paths;
-// Runtime.Stats reports delegation, batching, stealing, drain, recursive,
-// spill, and per-phase time counters.
+// BenchmarkLane, BenchmarkCoreDelegateSkewed and BenchmarkRecursiveSkewed
+// measure these paths; Runtime.Stats reports delegation, batching,
+// stealing, handoff, drain, recursive, spill, and per-phase time
+// counters.
 package prometheus

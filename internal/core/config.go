@@ -124,14 +124,27 @@ type Config struct {
 	// occupancy, provided that delegate is idle or at most a quarter as
 	// loaded as the victim. Whole sets — never individual invocations — are
 	// the steal unit, so per-set program order is preserved by construction.
-	// Requires Policy == LeastLoaded; incompatible with Recursive.
+	// Requires Policy == LeastLoaded — in recursive mode too, where the
+	// handoff additionally waits for every producer's lane position on the
+	// set to be covered by the owner's per-lane executed counters (see
+	// internal/core/recsteal.go).
 	Stealing bool
 
 	// StealThreshold is the victim backlog (outstanding operations) at which
-	// stealing engages. When unset it adapts to the queue capacity:
-	// QueueCapacity/4, clamped to [MinStealThreshold, MaxStealThreshold].
-	// Ignored unless Stealing is set.
+	// stealing engages. When unset it is derived from the queue capacity
+	// (QueueCapacity/4, clamped to [MinStealThreshold, MaxStealThreshold])
+	// and then adapts *within* each epoch to the observed max/min
+	// delegate-occupancy ratio (AdaptiveSteal). An explicit setting is
+	// fixed for the run. Ignored unless Stealing is set.
 	StealThreshold int
+
+	// AdaptiveSteal marks the StealThreshold as runtime-adaptive: the
+	// effective threshold tracks an EWMA of the max/min delegate-occupancy
+	// ratio sampled at drain-run boundaries, clamped to [MinStealThreshold,
+	// MaxStealThreshold] — skewed epochs rebalance eagerly, balanced epochs
+	// keep ownership sticky. Set by withDefaults when StealThreshold was
+	// left unset; an explicit threshold disables adaptation.
+	AdaptiveSteal bool
 
 	// Trace enables execution tracing: every delegated-operation execution,
 	// synchronization, and epoch transition is recorded with timestamps
@@ -170,7 +183,8 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StealThreshold <= 0 {
 		// Adaptive default: scale with the queue depth the backlog is
-		// measured against (QueueCapacity was defaulted above).
+		// measured against (QueueCapacity was defaulted above), then let
+		// the in-epoch imbalance EWMA move it inside the clamp band.
 		c.StealThreshold = c.QueueCapacity / 4
 		if c.StealThreshold < MinStealThreshold {
 			c.StealThreshold = MinStealThreshold
@@ -178,6 +192,31 @@ func (c Config) withDefaults() Config {
 		if c.StealThreshold > MaxStealThreshold {
 			c.StealThreshold = MaxStealThreshold
 		}
+		c.AdaptiveSteal = true
 	}
 	return c
+}
+
+// validate rejects configuration combinations the engine cannot honor.
+// Sequential debug mode ignores scheduling options instead of rejecting
+// them, so a program can flip one switch to debug any configuration.
+func (c Config) validate() {
+	if c.Sequential {
+		return
+	}
+	if c.Stealing && c.Policy != LeastLoaded {
+		panic("prometheus: Stealing requires the LeastLoaded policy")
+	}
+	if c.Recursive {
+		if c.ProgramShare != 0 {
+			panic("prometheus: ProgramShare is incompatible with Recursive (sets must be delegate-owned)")
+		}
+		// Without stealing, recursive placement is the paper's static
+		// assignment; with stealing, placement is dynamic (static seed +
+		// occupancy-aware whole-set handoff), which is what LeastLoaded
+		// names. Any other pairing would misdescribe what runs.
+		if !c.Stealing && c.Policy != StaticMod {
+			panic("prometheus: Recursive requires the StaticMod policy (or LeastLoaded with Stealing)")
+		}
+	}
 }

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Recursive-mode whole-set work stealing — the occupancy-aware scheduling
+// subsystem that lets the fastest execution mode rebalance. The paper's
+// scalability argument rests on sets being free to move between delegates
+// (per-set program order is the only invariant), but recursive mode has a
+// property the flat rebalancer cannot handle: delegations arrive from MANY
+// producer contexts, each through its own SPSC lane, so "the set is
+// quiescent on its owner" is no longer one position against one executed
+// counter.
+//
+// The multi-producer quiescent handoff generalizes the flat protocol:
+//
+//   - Each producer context p keeps a padded single-writer counter of the
+//     messages it has pushed into each delegate's lane p (laneSent[d][p]),
+//     and each delegate publishes, per lane, how many of that lane's
+//     messages it has finished executing (recDelegate.laneExec[p], stored
+//     at drain-run boundaries). Lanes are FIFO, so "executed count >=
+//     position" proves everything at or before that position ran.
+//
+//   - The owner table's entry for a set records, per producer, the lane
+//     position of the set's newest operation on the current owner
+//     (recSetEntry.lastPos). A set is quiescent on its owner exactly when
+//     EVERY producer's recorded position is covered by the owner's
+//     executed counter for that producer's lane — the safe multi-producer
+//     handoff boundary. In-flight work needs no lock and no explicit ack
+//     from the victim: the victim's per-lane executed publishes at
+//     drain-run boundaries ARE the ack, and the per-set stamp below orders
+//     the handoffs for any observer.
+//
+//   - Only the set's producer (one context per set per isolation epoch —
+//     the discipline Checked mode enforces) routes operations to it, so
+//     the migration itself is a single-writer update: store the thief as
+//     owner, bump the per-set handoff stamp, and conservatively fence the
+//     producer's own lastPos at the thief's current lane position so the
+//     set cannot immediately migrate again ahead of work already queued in
+//     the thief's lane. Everything delegated to the set before the handoff
+//     has executed on the victim before the first operation after it is
+//     enqueued on the thief, so per-set program order — and with it the
+//     model's determinism — is preserved by construction; only placement
+//     responds to load.
+//
+//   - Migrating a set also moves the PRODUCER ROLE its operations play:
+//     operations of the migrated set that delegate further (nested sets)
+//     start arriving through the thief's lanes instead of the victim's.
+//     That handover is only safe if nothing those nested sets received
+//     through the victim's lanes is still in flight, so a set may migrate
+//     away from victim v only when every lane v feeds as a producer is
+//     fully drained (laneSent[d][v] covered by d's laneExec[v] for all d)
+//     — the outbound-drain condition. recRoute double-checks the property
+//     per nested set: a delegation that changes a set's recorded producer
+//     must find the set quiescent, which Checked mode enforces with a
+//     panic.
+//
+//     The condition is a snapshot, so it sharpens the program-side
+//     discipline rather than replacing it: under stealing, a nested set
+//     must receive its delegations from the operations of ONE producing
+//     set (or from the program context) — not merely one context. Two
+//     parent sets on one delegate feeding the same nested set satisfies
+//     the static one-context rule, but migrating either parent would
+//     split the nested set's delegations across two contexts with no
+//     mutual order, which no snapshot at migration time can prevent.
+//     recRoute's quiescence check is exactly the runtime test of this
+//     rule, and its panic names it.
+//
+// Placement seeds come from the static assignment table (the same route
+// non-stealing recursive mode uses), optionally overridden for the
+// previous epoch's hottest sets by BeginIsolation's round-robin pre-
+// placement (reseed), and migrate from there.
+
+// recSetEntry is the recursive owner table's record of one serialization
+// set. All fields are atomics: the set's single producer writes them, but
+// the program context (stats, reseeding) and — under a violated producer
+// discipline, which Checked mode turns into a panic — other contexts may
+// observe them.
+type recSetEntry struct {
+	// owner is the context id of the delegate currently executing the set.
+	owner atomic.Int32
+	// producer is the context that most recently delegated to the set (-1
+	// until the first delegation). A producer change is a handover: legal
+	// only at a quiescent point of the set, because the new producer's lane
+	// has no order against in-flight operations in the old producer's lane.
+	// Handovers happen legitimately when the set that ISSUES these
+	// delegations migrates — the outbound-drain condition in maybeStealRec
+	// guarantees the quiescence this check then observes.
+	producer atomic.Int32
+	// stamp counts whole-set handoffs this epoch (the per-set epoch
+	// stamp): bumped once per migration, after the new owner is published.
+	// Observers that read owner and then stamp can detect a concurrent
+	// handoff without any lock on the drain or delegation path.
+	stamp atomic.Uint64
+	// ops counts operations delegated to the set this epoch; BeginIsolation
+	// ranks the previous epoch's sets by it to pre-place the hottest ones.
+	ops atomic.Uint64
+	// lastPos[p] is the lane position (producer p's laneSent count for the
+	// owner's lane p) of the set's newest operation — the value the owner's
+	// laneExec[p] must reach before the set may move.
+	lastPos []atomic.Uint64
+}
+
+// recOwnerTable is the concurrent set->entry map behind the recursive
+// owner table, specialized to uint64 keys so the lookup every stealing
+// delegation performs allocates nothing (a sync.Map would box every set id
+// into an interface). Reads are lock-free: bucket heads are atomic
+// pointers to immutable chain nodes, so a lookup is one scrambled-hash
+// index plus a chain walk. Inserts — once per set per epoch — serialize on
+// one mutex, re-check under it, and grow the bucket array by rehashing
+// into fresh nodes (readers keep walking the old array; anything they miss
+// sends them to the insert path, which re-checks).
+type recOwnerTable struct {
+	buckets atomic.Pointer[[]atomic.Pointer[recSetNode]]
+	mu      sync.Mutex
+	count   int
+}
+
+type recSetNode struct {
+	set   uint64
+	entry *recSetEntry
+	next  *recSetNode // immutable after the node is published
+}
+
+// recOwnerBuckets is the initial bucket count (doubles when load factor
+// passes 2 chained entries per bucket).
+const recOwnerBuckets = 256
+
+func newRecOwnerTable() *recOwnerTable {
+	t := &recOwnerTable{}
+	b := make([]atomic.Pointer[recSetNode], recOwnerBuckets)
+	t.buckets.Store(&b)
+	return t
+}
+
+// mixSet scrambles a set id into a bucket hash (SplitMix64 finalizer).
+func mixSet(set uint64) uint64 {
+	set += 0x9e3779b97f4a7c15
+	set = (set ^ (set >> 30)) * 0xbf58476d1ce4e5b9
+	set = (set ^ (set >> 27)) * 0x94d049bb133111eb
+	return set ^ (set >> 31)
+}
+
+// lookup returns the set's entry, or nil. Lock- and allocation-free.
+func (t *recOwnerTable) lookup(set uint64) *recSetEntry {
+	b := *t.buckets.Load()
+	for n := b[mixSet(set)&uint64(len(b)-1)].Load(); n != nil; n = n.next {
+		if n.set == set {
+			return n.entry
+		}
+	}
+	return nil
+}
+
+// insert publishes entry for set unless another producer got there first,
+// returning the entry that won.
+func (t *recOwnerTable) insert(set uint64, entry *recSetEntry) *recSetEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.lookup(set); e != nil {
+		return e // lost the publish race; adopt the winner
+	}
+	b := *t.buckets.Load()
+	if t.count >= 2*len(b) {
+		b = t.grow(b)
+	}
+	slot := &b[mixSet(set)&uint64(len(b)-1)]
+	slot.Store(&recSetNode{set: set, entry: entry, next: slot.Load()})
+	t.count++
+	return entry
+}
+
+// grow doubles the bucket array, rehashing every chain into fresh nodes
+// (old nodes stay intact for concurrent readers), and publishes it.
+// Caller holds mu.
+func (t *recOwnerTable) grow(old []atomic.Pointer[recSetNode]) []atomic.Pointer[recSetNode] {
+	nb := make([]atomic.Pointer[recSetNode], 2*len(old))
+	for i := range old {
+		for n := old[i].Load(); n != nil; n = n.next {
+			slot := &nb[mixSet(n.set)&uint64(len(nb)-1)]
+			slot.Store(&recSetNode{set: n.set, entry: n.entry, next: slot.Load()})
+		}
+	}
+	t.buckets.Store(&nb)
+	return nb
+}
+
+// forEach visits every (set, entry) pair. Program context, between epochs.
+func (t *recOwnerTable) forEach(fn func(set uint64, e *recSetEntry)) {
+	b := *t.buckets.Load()
+	for i := range b {
+		for n := b[i].Load(); n != nil; n = n.next {
+			fn(n.set, n.entry)
+		}
+	}
+}
+
+// recStealState carries the stealing-only scheduling state of recursive
+// mode; nil unless Config.Stealing.
+type recStealState struct {
+	// owners is the dynamic set->*recSetEntry table for the current epoch.
+	// An atomic pointer so BeginIsolation can swap in a freshly seeded
+	// table without racing late snapshot readers.
+	owners atomic.Pointer[recOwnerTable]
+	// laneSent[d][p] counts every message (method, sync, terminate)
+	// producer p has pushed into delegate d+1's lane p. Single writer
+	// (producer p), padded so concurrent producers never share a line.
+	laneSent [][]recCounter
+	// migrations[p] counts whole-set handoffs producer p performed;
+	// aggregated into Stats.Steals and Stats.Handoffs.
+	migrations []recCounter
+}
+
+func newRecStealState(delegates, producers int) *recStealState {
+	st := &recStealState{
+		laneSent:   make([][]recCounter, delegates),
+		migrations: make([]recCounter, producers),
+	}
+	for d := range st.laneSent {
+		st.laneSent[d] = make([]recCounter, producers)
+	}
+	st.owners.Store(newRecOwnerTable())
+	return st
+}
+
+func newRecSetEntry(owner int, producers int) *recSetEntry {
+	e := &recSetEntry{lastPos: make([]atomic.Uint64, producers)}
+	e.owner.Store(int32(owner))
+	e.producer.Store(-1)
+	return e
+}
+
+// quiescentOn reports whether every producer's recorded position for the
+// set is covered by delegate owner's per-lane executed counters — the safe
+// handoff (and producer-handover) boundary.
+func (e *recSetEntry) quiescentOn(owner *recDelegate) bool {
+	for q := range e.lastPos {
+		if e.lastPos[q].Load() > owner.laneExec[q].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// recOccupancy returns delegate ctx's occupancy under recursive stealing:
+// messages routed to any of its lanes that it has not finished executing.
+// O(producers) single-writer counter loads. Readers are arbitrary contexts
+// racing both counters, so per lane the executed side is loaded FIRST:
+// executed(t1) <= pushes(t1) <= sent(t1) <= sent(t2) (both counters are
+// monotone and sent is bumped before the push), so the difference cannot
+// underflow no matter how much the lane moves between the two loads —
+// loading sent first would let a concurrent push+drain wrap it to ~2^64
+// and corrupt every consumer of the number (threshold gate, thief scan,
+// imbalance EWMA).
+func (rt *Runtime) recOccupancy(ctx int) uint64 {
+	st := rt.rec.steal
+	d := rt.rec.delegates[ctx-1]
+	var occ uint64
+	for p := range st.laneSent[ctx-1] {
+		exec := d.laneExec[p].Load()
+		occ += st.laneSent[ctx-1][p].n.Load() - exec
+	}
+	return occ
+}
+
+// recRoute resolves the owner of a set on the delegation path under
+// recursive stealing, running the rebalancer for already-owned sets and
+// recording the new operation's lane position against the entry. It
+// returns the owning delegate context. Called only by the set's producer.
+func (rt *Runtime) recRoute(producer int, set uint64) int {
+	st := rt.rec.steal
+	owners := st.owners.Load()
+	e := owners.lookup(set)
+	if e != nil {
+		if e.producer.Load() != int32(producer) {
+			// Producer handover: the set's delegations now arrive through a
+			// different lane, so the set must be quiescent — otherwise the
+			// old lane's in-flight operations have no order against the new
+			// lane's. The engine only causes handovers at points where this
+			// holds (maybeStealRec's outbound-drain condition); reaching a
+			// non-quiescent one means the program itself delegated the set
+			// from two contexts, the discipline Checked mode rejects.
+			if rt.cfg.Checked && e.producer.Load() >= 0 &&
+				!e.quiescentOn(rt.rec.delegates[e.owner.Load()-1]) {
+				panic(fmt.Sprintf(
+					"prometheus: serializer violation: set %d delegated from context %d while operations from context %d are in flight (under recursive stealing a set must receive delegations from one producing set — or the program context — per epoch; producer handover is legal only at a quiescent point)",
+					set, producer, e.producer.Load()))
+			}
+			e.producer.Store(int32(producer))
+			if int(e.owner.Load()) == producer && e.ops.Load() == 0 && rt.cfg.Delegates > 1 {
+				// A hot-seeded placement guessed from the previous epoch's
+				// producer, and the producer moved onto exactly that
+				// delegate: honoring it would make every operation of the
+				// set a self-delegation the producer may block waiting on —
+				// a placement the engine must never introduce (same rule as
+				// the thief scan). Nothing has been delegated yet, so the
+				// empty entry can simply be re-homed next door.
+				e.owner.Store(int32(producer%rt.cfg.Delegates + 1))
+			}
+		}
+		rt.maybeStealRec(producer, e)
+	} else {
+		// First touch this epoch: seed from the static assignment table
+		// (hot sets were pre-placed by reseed before the epoch opened) and
+		// let the rebalancer move it from there.
+		e = owners.insert(set, newRecSetEntry(rt.vmap[set%uint64(len(rt.vmap))], len(rt.rec.enq)))
+		e.producer.Store(int32(producer))
+	}
+	owner := int(e.owner.Load())
+	pos := &st.laneSent[owner-1][producer]
+	pos.add(1)
+	e.lastPos[producer].Store(pos.n.Load())
+	e.ops.Add(1)
+	return owner
+}
+
+// maybeStealRec is the recursive rebalancer, run by a set's producer on
+// every delegation to an already-owned set. The shape mirrors the flat
+// maybeSteal — loaded victim, quiescent set, idle-or-far-underloaded thief
+// — with the quiescence check widened to every producer lane. The common
+// case (owner below threshold) costs O(producers) counter loads and no
+// atomics beyond them; nothing on this path takes a lock.
+func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
+	rec := rt.rec
+	st := rec.steal
+	v := int(e.owner.Load())
+	vd := rec.delegates[v-1]
+	// O(1) fast path first: a streaming set's newest operation from this
+	// producer is almost always still queued or running, and that alone
+	// rules the handoff out — two loads, before any O(producers) scan.
+	if e.lastPos[producer].Load() > vd.laneExec[producer].Load() {
+		return
+	}
+	vOut := rt.recOccupancy(v)
+	if vOut < uint64(rt.stealThreshold()) {
+		return
+	}
+	if !e.quiescentOn(vd) {
+		return // another producer's newest op on this set is queued or running
+	}
+	// Outbound-drain condition: every lane the victim feeds AS A PRODUCER
+	// must be fully drained. Operations the victim executed may themselves
+	// have delegated (nested sets whose producer the victim is); migrating
+	// this set moves those producing operations to the thief, and the only
+	// way the nested sets' per-lane order survives the producer handover is
+	// if everything the victim already pushed has executed first. Reading
+	// sent before executed keeps the check conservative against concurrent
+	// pushes.
+	for dx, d := range rec.delegates {
+		sent := st.laneSent[dx][v].n.Load()
+		if sent > d.laneExec[v].Load() {
+			return
+		}
+	}
+	thief, tOut := 0, ^uint64(0)
+	for _, d := range rec.delegates {
+		if d.id == v || d.id == producer {
+			// Never hand a set to its own producer's context: that would
+			// silently turn its operations into self-delegations, and a
+			// producer that waits on them mid-operation (markers, wave
+			// throttling) could then never see them run — the engine must
+			// not introduce a placement the program didn't choose that only
+			// the spill tier keeps from deadlocking outright.
+			continue
+		}
+		if o := rt.recOccupancy(d.id); o < tOut {
+			thief, tOut = d.id, o
+		}
+	}
+	if thief == 0 || tOut*4 > vOut {
+		return // no peer meaningfully less occupied than the victim
+	}
+	// Quiescent multi-producer boundary reached: hand the whole set over.
+	// Fence our own lastPos at the thief's current lane depth first, so the
+	// set cannot look quiescent on the thief ahead of messages already
+	// queued there, then publish the new owner and stamp the handoff.
+	e.lastPos[producer].Store(st.laneSent[thief-1][producer].n.Load())
+	e.owner.Store(int32(thief))
+	e.stamp.Add(1)
+	st.migrations[producer].add(1)
+}
+
+// reseed installs a fresh owner table for a new isolation epoch,
+// pre-placing the previous epoch's top hot sets round-robin across
+// delegates (ranked by per-set op counts, ties broken by set id so the
+// seeding itself is deterministic). First-touch placement piles the static
+// table's hottest sets onto one delegate and waits for the rebalancer to
+// fix it; seeding starts the epoch already spread. A set is never seeded
+// onto its previous epoch's producer: producers are stable across epochs
+// in practice, and placing a set on its own producer would turn its
+// operations into self-delegations the producer may be waiting on (the
+// same rule the thief scan applies). Returns how many sets were
+// pre-placed. Program context only, between epochs (all contexts
+// quiescent).
+func (st *recStealState) reseed(delegates int) int {
+	prev := st.owners.Load()
+	hot := rankHotSets(prev, hotSeedCount(delegates))
+	next := newRecOwnerTable()
+	producers := delegates + 1
+	slot := 0
+	for _, h := range hot {
+		d := slot%delegates + 1
+		if delegates > 1 && d == int(h.producer) {
+			slot++
+			d = slot%delegates + 1
+		}
+		next.insert(h.set, newRecSetEntry(d, producers))
+		slot++
+	}
+	st.owners.Store(next)
+	return len(hot)
+}
+
+// hotSeedCount bounds how many hot sets BeginIsolation pre-places: two per
+// delegate spreads the head of the distribution without pinning the long
+// tail to stale placements.
+func hotSeedCount(delegates int) int { return 2 * delegates }
+
+// hotSeed is one ranked entry of the closing epoch: the set, how many
+// operations it received, and which context produced it.
+type hotSeed struct {
+	set      uint64
+	ops      uint64
+	producer int32
+}
+
+// topHotSeeds sorts seeds by (ops desc, set asc) — the deterministic
+// hotness ranking both owner tables share — and truncates to the top k.
+// The input is every set the closing epoch touched (possibly very many;
+// only the output is small), so this must stay O(N log N) on the program
+// context's epoch-transition path.
+func topHotSeeds(all []hotSeed, k int) []hotSeed {
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ops != all[j].ops {
+			return all[i].ops > all[j].ops
+		}
+		return all[i].set < all[j].set
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// rankHotSets returns the top-k sets of the previous epoch by
+// delegated-op count, hottest first, ties by ascending set id.
+func rankHotSets(owners *recOwnerTable, k int) []hotSeed {
+	var all []hotSeed
+	owners.forEach(func(set uint64, e *recSetEntry) {
+		if n := e.ops.Load(); n > 0 {
+			all = append(all, hotSeed{set, n, e.producer.Load()})
+		}
+	})
+	return topHotSeeds(all, k)
+}
+
+// In-epoch adaptive steal threshold. The capacity-derived default only
+// adapts across configurations; within an epoch the right threshold
+// depends on how skewed the epoch actually is. Delegates sample the
+// max/min delegate-occupancy ratio at drain-run boundaries into an EWMA
+// (fixed-point, alpha 1/8), and the effective threshold is the base scaled
+// down by that ratio, clamped to the [MinStealThreshold, MaxStealThreshold]
+// band: a balanced epoch (ratio ~1) keeps ownership sticky, a skewed one
+// (loaded max, idle min) pulls the threshold toward MinStealThreshold so
+// help arrives early. Multiple delegates race the read-modify-write;
+// losing an update only delays convergence, so no CAS loop is needed.
+
+// ewmaFP is the fixed-point scale of the imbalance EWMA (ratio 1.0 == 16).
+const ewmaFP = 16
+
+// stealThreshold returns the effective threshold for this delegation:
+// the adaptive value when the threshold was derived, the configured one
+// when it was explicit.
+func (rt *Runtime) stealThreshold() int {
+	if rt.cfg.AdaptiveSteal {
+		return int(rt.adaptiveThr.Load())
+	}
+	return rt.cfg.StealThreshold
+}
+
+// noteImbalance folds one max/min occupancy observation into the EWMA and
+// re-derives the effective threshold. Called from delegate drain loops
+// (flat and recursive) at drain-run boundaries, only when AdaptiveSteal.
+func (rt *Runtime) noteImbalance(maxOcc, minOcc uint64) {
+	ratio := int64(((maxOcc + 1) * ewmaFP) / (minOcc + 1))
+	old := rt.imbalanceEWMA.Load()
+	ewma := old + (ratio-old)/8
+	if ewma == old && ratio != old {
+		// Fixed-point floor stalled the EWMA short of the target; step by
+		// one so persistent small imbalances still converge.
+		if ratio > old {
+			ewma++
+		} else {
+			ewma--
+		}
+	}
+	if ewma < 1 {
+		ewma = 1 // divide guard: racy lost updates must never zero the EWMA
+	}
+	rt.imbalanceEWMA.Store(ewma)
+	thr := int64(rt.cfg.StealThreshold) * 2 * ewmaFP / ewma
+	if thr < MinStealThreshold {
+		thr = MinStealThreshold
+	}
+	if thr > MaxStealThreshold {
+		thr = MaxStealThreshold
+	}
+	if rt.adaptiveThr.Load() != thr {
+		rt.adaptiveThr.Store(thr)
+		rt.thresholdAdjusts.Add(1)
+	}
+}
+
+// sampleImbalanceFlat reads every delegate's O(1) queue depth and feeds the
+// spread into the EWMA (flat mode's drain-run boundary sampler).
+func (rt *Runtime) sampleImbalanceFlat() {
+	maxOcc, minOcc := uint64(0), ^uint64(0)
+	for _, d := range rt.delegates {
+		n := uint64(d.queue.Len())
+		if n > maxOcc {
+			maxOcc = n
+		}
+		if n < minOcc {
+			minOcc = n
+		}
+	}
+	rt.noteImbalance(maxOcc, minOcc)
+}
+
+// sampleImbalanceRec is the recursive-mode sampler: occupancy from the
+// laneSent/laneExec ledgers (O(delegates*producers) single-writer loads).
+func (rt *Runtime) sampleImbalanceRec() {
+	maxOcc, minOcc := uint64(0), ^uint64(0)
+	for _, d := range rt.rec.delegates {
+		n := rt.recOccupancy(d.id)
+		if n > maxOcc {
+			maxOcc = n
+		}
+		if n < minOcc {
+			minOcc = n
+		}
+	}
+	rt.noteImbalance(maxOcc, minOcc)
+}

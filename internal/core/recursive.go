@@ -80,6 +80,16 @@ type recDelegate struct {
 	// delegate is its only writer). recBarrier sums it across delegates.
 	exec atomic.Uint64
 
+	// laneExec[p] publishes how many of lane p's messages (methods, syncs,
+	// terminates alike — everything producers count in laneSent) this
+	// delegate has finished executing, stored at the same drain-run
+	// boundaries as exec. Lanes are FIFO, so laneExec[p] >= position
+	// proves every message at or before that lane position has run — the
+	// coverage half of the whole-set handoff protocol (recsteal.go). Nil
+	// unless Config.Stealing: the ledger publishes cost two atomics per
+	// drain run, which single-op runs would pay per operation.
+	laneExec []atomic.Uint64
+
 	// drainBatches/drainedOps count the batched lane drains; aggregated
 	// into Stats by the program context.
 	drainBatches atomic.Uint64
@@ -108,6 +118,9 @@ type recState struct {
 	// producers enforces the one-producer-per-set discipline (checked
 	// mode only; nil otherwise).
 	producers *producerTable
+	// steal holds the whole-set work-stealing state (owner table, lane
+	// ledgers, migration counters); nil unless Config.Stealing.
+	steal *recStealState
 }
 
 // enqSum aggregates the enqueued side of the quiescence ledger.
@@ -192,9 +205,20 @@ func (rt *Runtime) initRecursive() {
 	cfg := rt.cfg
 	nProducers := cfg.Delegates + 1
 	rec := &recState{enq: make([]recCounter, nProducers)}
-	if cfg.Checked {
+	if cfg.Checked && !cfg.Stealing {
+		// The static-placement discipline: one producer context per set per
+		// epoch, enforced by the sharded registry. Under stealing the
+		// owner-table entries enforce the generalized rule instead (producer
+		// handover allowed at quiescent points — recRoute), because
+		// engine-driven migrations legitimately move the producer role.
 		rec.producers = newProducerTable()
 	}
+	if cfg.Stealing {
+		rec.steal = newRecStealState(cfg.Delegates, nProducers)
+	}
+	// One spill-node pool shared by every lane of this runtime, so spill
+	// pressure that moves between lanes keeps recycling nodes.
+	pool := spsc.NewNodePool[Invocation]()
 	words := (nProducers + 63) / 64
 	for i := 0; i < cfg.Delegates; i++ {
 		d := &recDelegate{
@@ -202,8 +226,11 @@ func (rt *Runtime) initRecursive() {
 			pending: make([]atomic.Uint64, words),
 			wake:    make(chan struct{}, 1),
 		}
+		if cfg.Stealing {
+			d.laneExec = make([]atomic.Uint64, nProducers)
+		}
 		for p := 0; p < nProducers; p++ {
-			d.lanes = append(d.lanes, spsc.NewLane[Invocation](cfg.QueueCapacity))
+			d.lanes = append(d.lanes, spsc.NewLanePooled[Invocation](cfg.QueueCapacity, pool))
 		}
 		rec.delegates = append(rec.delegates, d)
 		rt.wg.Add(1)
@@ -249,14 +276,21 @@ func (d *recDelegate) anyPending() bool {
 // recEnqueue routes one invocation from any producer context to the owner
 // of its set. The steady-state cost is one padded-counter bump, one ring
 // write, one pending-bit load (or OR), and one sleep-flag load — no
-// allocation, no contended atomics. Callers have already dispatched on
-// Sequential mode.
+// allocation, no contended atomics. With stealing enabled the owner comes
+// from the dynamic table (recRoute), which also runs the rebalancer and
+// records the operation's lane position; without it the static assignment
+// path is untouched. Callers have already dispatched on Sequential mode.
 func (rt *Runtime) recEnqueue(producer int, set uint64, inv Invocation) int {
 	rec := rt.rec
 	if rec.producers != nil {
 		rec.producers.check(set, producer)
 	}
-	owner := rt.vmap[set%uint64(len(rt.vmap))]
+	var owner int
+	if rec.steal != nil {
+		owner = rt.recRoute(producer, set)
+	} else {
+		owner = rt.vmap[set%uint64(len(rt.vmap))]
+	}
 	d := rec.delegates[owner-1]
 	rec.enq[producer].add(1)
 	lane := d.lanes[producer]
@@ -272,6 +306,19 @@ func (rt *Runtime) recEnqueue(producer int, set uint64, inv Invocation) int {
 	}
 	d.notify(producer)
 	return owner
+}
+
+// recSend delivers a control or task message from the program context
+// straight to a delegate's program lane, keeping the stealing lane ledger
+// consistent: every message a lane carries must be counted in laneSent,
+// or the delegate's laneExec could overtake a producer's recorded
+// positions and make an in-flight set look quiescent.
+func (rt *Runtime) recSend(d *recDelegate, inv Invocation) {
+	if st := rt.rec.steal; st != nil {
+		st.laneSent[d.id-1][ProgramContext].add(1)
+	}
+	d.lanes[ProgramContext].PushBlocking(inv)
+	d.notify(ProgramContext)
 }
 
 // delegateFrom routes a closure delegation from any producer context in
@@ -295,6 +342,7 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 	defer rt.wg.Done()
 	buf := make([]Invocation, drainBatchSize)
 	var executed uint64 // method invocations completed; published via d.exec
+	adaptive := rt.cfg.Stealing && rt.cfg.AdaptiveSteal
 	spin := 0
 	for {
 		progress := false
@@ -303,7 +351,7 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 			for claimed != 0 {
 				p := w<<6 | bits.TrailingZeros64(claimed)
 				claimed &= claimed - 1
-				drained, terminate := d.drainLane(d.lanes[p], buf, &executed)
+				drained, terminate := d.drainLane(p, d.lanes[p], buf, &executed)
 				if terminate {
 					return
 				}
@@ -311,6 +359,11 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 			}
 		}
 		if progress {
+			if adaptive {
+				// Drain-run boundary: feed the pool-wide occupancy spread
+				// into the in-epoch threshold EWMA.
+				rt.sampleImbalanceRec()
+			}
 			spin = 0
 			continue
 		}
@@ -338,13 +391,23 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 
 // drainLane empties one claimed lane in batched runs: values are popped
 // drainBatchSize at a time and executed back to back, with the executed
-// counter published once per run rather than once per operation — the
-// consumer-side mirror of the flat path's PopBatch drain. It returns
+// counters published once per run rather than once per operation — the
+// consumer-side mirror of the flat path's PopBatch drain. Two counters are
+// published at each run boundary: exec (methods only, the quiescence
+// ledger) and laneExec[p] (every message, the handoff-coverage ledger; a
+// producer that observes laneExec[p] >= its recorded position knows that
+// message, and the FIFO lane prefix before it, has finished). It returns
 // whether anything was drained, and whether a termination object was
 // served (the loop must exit). Draining to empty is what makes the
 // claimed-then-cleared pending bit safe: any value pushed after the final
 // empty observation re-raises the bit.
-func (d *recDelegate) drainLane(lane *spsc.Lane[Invocation], buf []Invocation, executed *uint64) (drained, terminate bool) {
+func (d *recDelegate) drainLane(p int, lane *spsc.Lane[Invocation], buf []Invocation, executed *uint64) (drained, terminate bool) {
+	var le *atomic.Uint64 // lane ledger: maintained only under stealing
+	var base uint64
+	if d.laneExec != nil {
+		le = &d.laneExec[p]
+		base = le.Load() // single writer: this delegate
+	}
 	for {
 		n := lane.PopBatch(buf)
 		if n == 0 {
@@ -363,15 +426,25 @@ func (d *recDelegate) drainLane(lane *spsc.Lane[Invocation], buf []Invocation, e
 				// Publish progress before signaling: an observer of done
 				// must see every earlier invocation counted.
 				d.exec.Store(*executed)
+				if le != nil {
+					le.Store(base + uint64(i) + 1)
+				}
 				close(inv.done)
 			case kindTerminate:
 				d.exec.Store(*executed)
+				if le != nil {
+					le.Store(base + uint64(i) + 1)
+				}
 				close(inv.done)
 				clear(buf[:n])
 				return true, true
 			}
 		}
 		d.exec.Store(*executed)
+		if le != nil {
+			base += uint64(n)
+			le.Store(base)
+		}
 		// Drop payload references so executed invocations don't pin their
 		// closures and payloads until the buffer is refilled.
 		clear(buf[:n])
@@ -391,8 +464,7 @@ func (rt *Runtime) recBarrier() {
 		dones := make([]chan struct{}, 0, len(rec.delegates))
 		for _, d := range rec.delegates {
 			done := make(chan struct{})
-			d.lanes[ProgramContext].PushBlocking(Invocation{kind: kindSync, done: done})
-			d.notify(ProgramContext)
+			rt.recSend(d, Invocation{kind: kindSync, done: done})
 			dones = append(dones, done)
 		}
 		for _, done := range dones {
@@ -409,8 +481,7 @@ func (rt *Runtime) recTerminate() {
 	rt.recBarrier()
 	for _, d := range rt.rec.delegates {
 		done := make(chan struct{})
-		d.lanes[ProgramContext].PushBlocking(Invocation{kind: kindTerminate, done: done})
-		d.notify(ProgramContext)
+		rt.recSend(d, Invocation{kind: kindTerminate, done: done})
 		<-done
 	}
 }

@@ -105,6 +105,15 @@ type Runtime struct {
 	// rec holds the recursive-delegation state (nil unless Config.Recursive).
 	rec *recState
 
+	// adaptiveThr is the effective StealThreshold under AdaptiveSteal,
+	// re-derived by drain-loop samplers from imbalanceEWMA (recsteal.go);
+	// it starts at the configured base. imbalanceEWMA tracks the max/min
+	// delegate-occupancy ratio in ewmaFP fixed point; thresholdAdjusts
+	// counts effective-threshold changes (Stats.ThresholdAdjusts).
+	adaptiveThr      atomic.Int64
+	imbalanceEWMA    atomic.Int64
+	thresholdAdjusts atomic.Uint64
+
 	// traceSt holds trace buffers (nil unless Config.Trace).
 	traceSt    *traceState
 	epochStart time.Time
@@ -117,31 +126,29 @@ type Runtime struct {
 // LeastLoaded policy: the sticky owning context and the per-owner position
 // (that context's sent count) of the set's newest delegated operation. A set
 // is quiescent on its owner — and therefore safe to hand off — once the
-// owner's executed counter has reached lastPos.
+// owner's executed counter has reached lastPos. ops counts the set's
+// delegations this epoch; BeginIsolation ranks the closing epoch's sets by
+// it to pre-place the hottest ones (hot-set seeding, stealing only).
 type setEntry struct {
 	ctx     int
 	lastPos uint64
+	ops     uint64
 }
 
 // New creates and starts a runtime (paper: initialize()). The calling
 // goroutine becomes the program context.
 func New(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
-	if cfg.Stealing && !cfg.Sequential {
-		if cfg.Recursive {
-			panic("prometheus: Stealing is incompatible with Recursive (sets must stay single-producer)")
-		}
-		if cfg.Policy != LeastLoaded {
-			panic("prometheus: Stealing requires the LeastLoaded policy")
-		}
-	}
+	cfg.validate()
 	rt := &Runtime{
 		cfg:   cfg,
 		vmap:  buildAssignment(cfg),
 		dirty: make([]bool, cfg.Delegates),
 		clock: newPhaseClock(),
 	}
-	if cfg.Policy == LeastLoaded {
+	rt.adaptiveThr.Store(int64(cfg.StealThreshold))
+	rt.imbalanceEWMA.Store(ewmaFP) // ratio 1.0: assume balance until sampled
+	if cfg.Policy == LeastLoaded && !cfg.Recursive {
 		rt.setOwner = make(map[uint64]*setEntry)
 		rt.sent = make([]uint64, cfg.Delegates)
 	}
@@ -152,12 +159,6 @@ func New(cfg Config) *Runtime {
 		return rt // no delegate goroutines at all in debug mode
 	}
 	if cfg.Recursive {
-		if cfg.ProgramShare != 0 {
-			panic("prometheus: ProgramShare is incompatible with Recursive (sets must be delegate-owned)")
-		}
-		if cfg.Policy != StaticMod {
-			panic("prometheus: Recursive requires the StaticMod policy")
-		}
 		rt.initRecursive()
 		return rt
 	}
@@ -202,6 +203,7 @@ func (rt *Runtime) delegateLoop(d *delegate) {
 	defer rt.wg.Done()
 	buf := make([]Invocation, drainBatchSize)
 	var executed uint64 // method invocations completed; published via d.executed
+	adaptive := rt.cfg.Stealing && rt.cfg.AdaptiveSteal
 	for {
 		inv, ok := d.queue.Pop()
 		if !ok { // queue closed and drained
@@ -226,6 +228,11 @@ func (rt *Runtime) delegateLoop(d *delegate) {
 			// Drop payload references so executed invocations don't pin
 			// their closures and payloads until the buffer is refilled.
 			clear(buf[:n])
+			if adaptive {
+				// Drain-run boundary: feed the queue-depth spread across
+				// the pool into the in-epoch steal-threshold EWMA.
+				rt.sampleImbalanceFlat()
+			}
 		}
 	}
 }
@@ -283,10 +290,15 @@ func (rt *Runtime) BeginIsolation() {
 		rt.epochStart = timeNow()
 	}
 	if rt.setOwner != nil && len(rt.setOwner) > 0 {
-		rt.setOwner = make(map[uint64]*setEntry) // new epoch, new partition
+		rt.seedHotSets() // new epoch, new partition (pre-placed hot sets)
 	}
-	if rt.rec != nil && rt.rec.producers != nil {
-		rt.rec.producers.reset()
+	if rt.rec != nil {
+		if rt.rec.producers != nil {
+			rt.rec.producers.reset()
+		}
+		if rt.rec.steal != nil {
+			rt.stats.HotSetsPlaced += uint64(rt.rec.steal.reseed(rt.cfg.Delegates))
+		}
 	}
 	rt.clock.switchTo(PhaseIsolation, &rt.stats)
 }
@@ -303,6 +315,30 @@ func (rt *Runtime) EndIsolation() {
 		rt.traceSt.record(ProgramContext, TraceEpoch, uint64(rt.epoch), rt.epochStart, timeNow())
 	}
 	rt.clock.switchTo(PhaseAggregation, &rt.stats)
+}
+
+// seedHotSets replaces the flat owner table for a new epoch. Under
+// stealing, the closing epoch's hottest sets (by delegated-op count) are
+// pre-placed round-robin across delegates instead of letting first-touch
+// assignment pile them onto whichever delegate looked emptiest at epoch
+// start — at that instant every queue reads zero and ties all resolve to
+// the same context. Seeded entries carry lastPos 0, so they are quiescent
+// and free to migrate immediately if the prediction was wrong.
+func (rt *Runtime) seedHotSets() {
+	var hot []hotSeed
+	if rt.cfg.Stealing {
+		for set, e := range rt.setOwner {
+			if e.ops > 0 {
+				hot = append(hot, hotSeed{set: set, ops: e.ops})
+			}
+		}
+		hot = topHotSeeds(hot, hotSeedCount(rt.cfg.Delegates))
+	}
+	rt.setOwner = make(map[uint64]*setEntry)
+	for i, h := range hot {
+		rt.setOwner[h.set] = &setEntry{ctx: i%rt.cfg.Delegates + 1}
+	}
+	rt.stats.HotSetsPlaced += uint64(len(hot))
 }
 
 // leastLoaded returns the delegate with the fewest pending operations,
@@ -329,6 +365,14 @@ func (rt *Runtime) leastLoaded() int {
 func (rt *Runtime) ContextFor(set uint64) int {
 	if rt.cfg.Sequential {
 		return ProgramContext
+	}
+	if rt.rec != nil {
+		if st := rt.rec.steal; st != nil {
+			if e := st.owners.Load().lookup(set); e != nil {
+				return int(e.owner.Load())
+			}
+		}
+		return rt.vmap[set%uint64(len(rt.vmap))]
 	}
 	if rt.cfg.Policy == LeastLoaded {
 		if e, ok := rt.setOwner[set]; ok {
@@ -384,7 +428,7 @@ func (rt *Runtime) outstanding(ctx int) uint64 {
 func (rt *Runtime) maybeSteal(e *setEntry) {
 	v := e.ctx
 	vOut := rt.outstanding(v)
-	if vOut < uint64(rt.cfg.StealThreshold) {
+	if vOut < uint64(rt.stealThreshold()) {
 		return
 	}
 	if e.lastPos > rt.delegates[v-1].executed.Load() {
@@ -413,6 +457,7 @@ func (rt *Runtime) maybeSteal(e *setEntry) {
 func (rt *Runtime) notePosition(e *setEntry, ctx int) {
 	if e != nil {
 		e.lastPos = rt.sent[ctx-1]
+		e.ops++
 	}
 }
 
@@ -677,8 +722,7 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 		for i, t := range tasks {
 			d := rt.rec.delegates[i%len(rt.rec.delegates)]
 			rt.rec.enq[ProgramContext].add(1)
-			d.lanes[ProgramContext].PushBlocking(Invocation{kind: kindMethod, fn: t})
-			d.notify(ProgramContext)
+			rt.recSend(d, Invocation{kind: kindMethod, fn: t})
 		}
 		rt.recBarrier()
 		return
@@ -720,7 +764,15 @@ func (rt *Runtime) Stats() Stats {
 				st.Spills += lane.Spills()
 			}
 		}
+		if steal := rt.rec.steal; steal != nil {
+			for i := range steal.migrations {
+				n := steal.migrations[i].n.Load()
+				st.Steals += n
+				st.Handoffs += n
+			}
+		}
 	}
+	st.ThresholdAdjusts = rt.thresholdAdjusts.Load()
 	clk := rt.clock
 	clk.switchTo(clk.phase, &st) // charge the open span without mutating rt
 	return st

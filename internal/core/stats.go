@@ -27,8 +27,8 @@ func (p Phase) String() string {
 }
 
 // Stats accumulates runtime counters and the per-phase wall-clock breakdown
-// used to regenerate Figure 5a. All fields except the drain, recursive and
-// spill counters are maintained by the program context; those are
+// used to regenerate Figure 5a. Most fields are maintained by the program
+// context; the drain, recursive, spill, handoff, and threshold counters are
 // aggregated from per-delegate (and per-producer, and per-lane) atomics
 // when a snapshot is taken, so a Stats() call may observe work mid-flight.
 type Stats struct {
@@ -39,11 +39,15 @@ type Stats struct {
 	Epochs       uint64 // isolation epochs begun
 	BatchFlushes uint64 // delegation-buffer flushes (batches delivered)
 	BatchedOps   uint64 // delegations delivered through the batch buffer
-	Steals       uint64 // serialization sets handed off by the occupancy-aware rebalancer
+	Steals       uint64 // serialization sets handed off by the occupancy-aware rebalancer (flat and recursive)
+	Handoffs     uint64 // recursive-mode whole-set handoffs (the multi-producer quiescent protocol; a subset of Steals)
 	DrainBatches uint64 // delegate-side batched drains (PopBatch runs executed)
 	DrainedOps   uint64 // invocations delivered through batched drains
 	RecursiveOps uint64 // invocations enqueued through recursive lanes (all producers)
 	Spills       uint64 // recursive-lane ring overflows absorbed by spill lists
+
+	ThresholdAdjusts uint64 // in-epoch adaptive StealThreshold changes (imbalance-EWMA driven)
+	HotSetsPlaced    uint64 // hot sets pre-placed round-robin at BeginIsolation from prior-epoch op counts
 
 	Aggregation time.Duration
 	Isolation   time.Duration

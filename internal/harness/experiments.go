@@ -15,6 +15,19 @@ type Options struct {
 	Size workload.SizeClass
 	Reps int // timing repetitions, best-of
 	Apps []string
+	// StealThreshold overrides the victim backlog at which the stealing
+	// ablations engage (0 = the runtime's adaptive default). Plumbed from
+	// ssbench's -steal-threshold flag so the A5/A6 tables can sweep it.
+	StealThreshold int
+}
+
+// stealOpts returns the stealing option set the ablations run under.
+func (o Options) stealOpts() []prometheus.Option {
+	opts := []prometheus.Option{prometheus.WithPolicy(prometheus.LeastLoaded), prometheus.WithStealing()}
+	if o.StealThreshold > 0 {
+		opts = append(opts, prometheus.WithStealThreshold(o.StealThreshold))
+	}
+	return opts
 }
 
 // Table2 prints the benchmark inventory (paper Table 2), instantiating each
@@ -253,8 +266,8 @@ func Ablation(w io.Writer, opts Options) error {
 	}
 
 	fmt.Fprintf(w, "\nA5. occupancy-aware work stealing (least-loaded, whole-set handoff)\n")
-	fmt.Fprintf(w, "%-14s %9s %9s %8s %8s %10s %10s %10s\n",
-		"program", "ll", "ll+steal", "steals", "flushes", "batched", "drains", "drained")
+	fmt.Fprintf(w, "%-14s %9s %9s %8s %8s %10s %8s %10s %10s %10s\n",
+		"program", "ll", "ll+steal", "steals", "thradj", "hotplaced", "flushes", "batched", "drains", "drained")
 	for _, app := range apps {
 		inst := app.Load(opts.Size)
 		if inst.SSOpt == nil {
@@ -264,12 +277,54 @@ func Ablation(w io.Writer, opts Options) error {
 		ll := TimeBest(opts.Reps, func() { inst.SSOpt(delegates, prometheus.WithPolicy(prometheus.LeastLoaded)) })
 		var st prometheus.Stats
 		steal := TimeBest(opts.Reps, func() {
-			st = inst.SSOpt(delegates,
-				prometheus.WithPolicy(prometheus.LeastLoaded), prometheus.WithStealing())
+			st = inst.SSOpt(delegates, opts.stealOpts()...)
 		})
-		fmt.Fprintf(w, "%-14s %9.1f %9.1f %8d %8d %10d %10d %10d\n",
+		fmt.Fprintf(w, "%-14s %9.1f %9.1f %8d %8d %10d %8d %10d %10d %10d\n",
 			app.Name, Speedup(seq, ll), Speedup(seq, steal),
-			st.Steals, st.BatchFlushes, st.BatchedOps, st.DrainBatches, st.DrainedOps)
+			st.Steals, st.ThresholdAdjusts, st.HotSetsPlaced,
+			st.BatchFlushes, st.BatchedOps, st.DrainBatches, st.DrainedOps)
+	}
+
+	fmt.Fprintf(w, "\nA6. recursive whole-set stealing (quiescent multi-producer handoff)\n")
+	fmt.Fprintf(w, "%-14s %10s %10s %9s %9s %8s %10s %8s\n",
+		"workload", "static ms", "steal ms", "delta", "handoffs", "thradj", "hotplaced", "spills")
+	{
+		static := TimeBest(opts.Reps, func() { recursiveSkewed() })
+		var st prometheus.Stats
+		steal := TimeBest(opts.Reps, func() {
+			st = recursiveSkewed(opts.stealOpts()...)
+		})
+		delta := 100 * (steal.Seconds() - static.Seconds()) / static.Seconds()
+		fmt.Fprintf(w, "%-14s %10.2f %10.2f %8.1f%% %9d %8d %10d %8d\n",
+			"rec-skewed", 1e3*static.Seconds(), 1e3*steal.Seconds(), delta,
+			st.Handoffs, st.ThresholdAdjusts, st.HotSetsPlaced, st.Spills)
 	}
 	return nil
+}
+
+// recursiveSkewed is the A6 workload: the shared 90/10 skewed recursive
+// shape (workload.SkewedRecursive — the BenchmarkRecursiveSkewed driver,
+// sized for the ablation table) with briefly blocking operations. Fixed
+// at 4 delegates: the hot/cold set ids are chosen against that static
+// map. Two isolation epochs, so hot-set seeded placement is on the
+// measured path.
+func recursiveSkewed(extra ...prometheus.Option) prometheus.Stats {
+	all := append([]prometheus.Option{prometheus.WithDelegates(4), prometheus.Recursive()}, extra...)
+	rt := prometheus.Init(all...)
+	defer rt.Terminate()
+	shape := workload.SkewedRecursive{
+		Hot:    []uint64{0, 4, 8, 12}, // delegate 1 under StaticMod's vmap
+		Cold:   []uint64{2, 6, 3, 7},
+		Waves:  6,
+		RunLen: 8,
+	}
+	blocking := func(*prometheus.Ctx) { time.Sleep(20 * time.Microsecond) }
+	sharedOp := func(uint64, int32) func(*prometheus.Ctx) { return blocking }
+	w := prometheus.NewWritable(rt, 0)
+	for epoch := 0; epoch < 2; epoch++ {
+		rt.BeginIsolation()
+		w.DelegateTo(1, func(c *prometheus.Ctx, _ *int) { shape.Run(c, sharedOp) })
+		rt.EndIsolation()
+	}
+	return rt.Stats()
 }

@@ -2,6 +2,7 @@ package spsc
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -14,7 +15,8 @@ import (
 // push could then wait on a lane only the blocked context (or a blocked
 // cycle of contexts) could drain. In steady state the ring absorbs all
 // traffic and a push writes the invocation record by value with zero heap
-// allocations; only overflow pays one node allocation per value.
+// allocations; overflow pays a node allocation only until the spill-node
+// freelist warms up (see the recycling note below).
 //
 // FIFO across the two tiers is preserved by a sticky spill mode: once a
 // value spills, every later push spills too, until the producer observes
@@ -39,20 +41,40 @@ import (
 // all lanes, maintained by the runtime), which replaces per-lane O(lanes)
 // polling with an O(1) check. The lane only keeps the producer-side park
 // machinery that PushBlocking needs.
+//
+// Spill nodes are recycled: the consumer hands each consumed node back
+// through a small per-lane SPSC freelist ring (nil/non-nil pointer slots
+// are the stamps), overflowing into an optional NodePool shared across
+// lanes, so a workload that spills in steady state — delegation cycles,
+// sustained self-delegation — stops paying one heap allocation per spilled
+// value once the first burst has primed the freelist.
 type Lane[T any] struct {
 	slots []slot[T]
 	mask  uint64
 	shift uint // log2(capacity), for lap computation
 
+	// free is the spill-node freelist ring: consumed spill nodes travel
+	// back to the producer through it (consumer stores, producer swaps out;
+	// a nil slot is "empty", non-nil "full", so no separate stamps). Shared
+	// by both sides but each side only touches its own cursor.
+	free []atomic.Pointer[unode[T]]
+	// pool, when non-nil, absorbs freelist overflow and feeds freelist
+	// misses; shared across the lanes of one runtime.
+	pool *NodePool[T]
+
 	_    pad
 	head uint64 // consumer cursor: next ring slot to read (consumer-private)
 	// spillHead is the consumer's end of the spill list (stub-node form).
 	spillHead *unode[T]
+	// freePut is the consumer's cursor into free (next slot to recycle into).
+	freePut uint64
 
 	_    pad
 	tail uint64 // producer cursor: next ring slot to write (producer-private)
 	// spillTail is the producer's end of the spill list.
 	spillTail *unode[T]
+	// freeGet is the producer's cursor into free (next slot to reuse from).
+	freeGet uint64
 	// spilling records sticky spill mode (producer-private): set when a
 	// push overflows the ring, cleared when the producer observes the
 	// consumer has drained the whole spill list.
@@ -70,10 +92,48 @@ type Lane[T any] struct {
 	wakeProducer  chan struct{}
 }
 
+// freelistSize is the per-lane spill-node freelist capacity. 64 node
+// pointers (512B) covers the spill bursts the recursive engine produces in
+// practice — a burst deeper than the freelist falls back to the shared
+// NodePool, and only with no pool attached does it reach the allocator.
+const freelistSize = 64
+
+// NodePool is a spill-node reservoir shared across lanes (a typed
+// sync.Pool): when one lane's freelist overflows the nodes become available
+// to every other lane of the same runtime, so a workload whose spill
+// pressure moves between lanes still recycles instead of allocating.
+type NodePool[T any] struct{ p sync.Pool }
+
+// NewNodePool returns an empty shared spill-node pool.
+func NewNodePool[T any]() *NodePool[T] { return &NodePool[T]{} }
+
+func (np *NodePool[T]) get() *unode[T] {
+	if np == nil {
+		return &unode[T]{}
+	}
+	if n, _ := np.p.Get().(*unode[T]); n != nil {
+		return n
+	}
+	return &unode[T]{}
+}
+
+func (np *NodePool[T]) put(n *unode[T]) {
+	if np != nil {
+		np.p.Put(n)
+	}
+}
+
 // NewLane returns a lane with ring capacity rounded up to a power of two
 // (DefaultCapacity when non-positive). Like NewQueue, construction is O(1)
 // in touched memory: the zero-valued slots mean "free for lap 0".
 func NewLane[T any](capacity int) *Lane[T] {
+	return NewLanePooled[T](capacity, nil)
+}
+
+// NewLanePooled is NewLane with a shared spill-node pool attached: freelist
+// overflow and misses go through pool instead of the allocator. A nil pool
+// is allowed (per-lane freelist recycling only).
+func NewLanePooled[T any](capacity int, pool *NodePool[T]) *Lane[T] {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
@@ -88,6 +148,8 @@ func NewLane[T any](capacity int) *Lane[T] {
 		slots:        make([]slot[T], c),
 		mask:         uint64(c - 1),
 		shift:        shift,
+		free:         make([]atomic.Pointer[unode[T]], freelistSize),
+		pool:         pool,
 		spillHead:    stub,
 		spillTail:    stub,
 		wakeProducer: make(chan struct{}, 1),
@@ -104,12 +166,42 @@ func (l *Lane[T]) Cap() int { return len(l.slots) }
 // construction. Safe from any goroutine.
 func (l *Lane[T]) Spills() uint64 { return l.spillPushed.Load() }
 
+// getNode produces a spill node: recycled from the freelist ring when one
+// is waiting, else from the shared pool, else freshly allocated. Producer
+// method. Recycled nodes arrive with val zeroed (cleared when popped) and
+// next cleared (cleared when recycled).
+func (l *Lane[T]) getNode() *unode[T] {
+	s := &l.free[l.freeGet&uint64(freelistSize-1)]
+	if n := s.Load(); n != nil {
+		s.Store(nil)
+		l.freeGet++
+		return n
+	}
+	return l.pool.get()
+}
+
+// putNode recycles a consumed spill node into the freelist ring, spilling
+// it to the shared pool when the ring is full. Consumer method. The node's
+// next pointer is severed first — it still points into the live list — so
+// a reused node can be linked directly.
+func (l *Lane[T]) putNode(n *unode[T]) {
+	n.next.Store(nil)
+	s := &l.free[l.freePut&uint64(freelistSize-1)]
+	if s.Load() == nil {
+		s.Store(n)
+		l.freePut++
+		return
+	}
+	l.pool.put(n)
+}
+
 // pushSpill appends v to the spill list and publishes the spill count. The
 // node is linked before the count is published, so a producer that later
 // observes spillPopped == spillPushed knows the consumer has consumed
 // every node it linked.
 func (l *Lane[T]) pushSpill(v T) {
-	n := &unode[T]{val: v}
+	n := l.getNode()
+	n.val = v
 	l.spillTail.next.Store(n)
 	l.spillTail = n
 	l.spillPushed.Store(l.spillPushed.Load() + 1) // single writer
@@ -202,8 +294,12 @@ func (l *Lane[T]) TryPop() (T, bool) {
 	if next := l.spillHead.next.Load(); next != nil {
 		v := next.val
 		next.val = zero
+		old := l.spillHead
 		l.spillHead = next
 		l.spillPopped.Store(l.spillPopped.Load() + 1) // single writer
+		// The old stub is unreachable now (the producer's tail is at or
+		// past next): recycle it for a future spill.
+		l.putNode(old)
 		return v, true
 	}
 	return zero, false
@@ -236,7 +332,9 @@ func (l *Lane[T]) PopBatch(dst []T) int {
 		}
 		dst[n] = next.val
 		next.val = zero
+		old := l.spillHead
 		l.spillHead = next
+		l.putNode(old)
 		n++
 		m++
 	}

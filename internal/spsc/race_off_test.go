@@ -1,0 +1,9 @@
+//go:build !race
+
+package spsc
+
+// raceEnabled reports whether the race detector is compiled in. The
+// sync.Pool-backed alloc gates are skipped under -race: the race-mode pool
+// deliberately drops a fraction of Puts to shake out lifecycle races, so
+// zero-alloc steady state is unattainable by design there.
+const raceEnabled = false

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	prometheus "repro"
+)
+
+// SkewedRecursive is the wave-throttled 90/10-skewed recursive producer
+// shared by BenchmarkRecursiveSkewed, the recursive-stealing determinism
+// stress, and the ssbench A6 ablation — the imbalance shape the recursive
+// whole-set rebalancer exists for. Operations arrive as runs of RunLen
+// consecutive delegations per hot set with one cold delegation after each
+// run (dependence chains of uneven length), so a hot set's first
+// delegation of a wave routes while the victim still carries the previous
+// run — the quiescent window the rebalancer migrates in. Each wave ends
+// with one marker per hot set and a spin-wait until all markers have
+// executed: a delegate-context producer never blocks on a full lane, so
+// an unthrottled stream would grow the lanes without bounding occupancy,
+// and the wait is also what creates the quiescent boundaries.
+//
+// The mechanics here are load-bearing for every user: the marker
+// accounting, the done-counter reset, and the choice of hot/cold set ids
+// against the static assignment table (hot sets must pile onto one
+// delegate; neither list may include the producer's own set) decide
+// whether handoffs can fire at all and whether the wait can deadlock.
+type SkewedRecursive struct {
+	Hot    []uint64 // hot sets (90% of operations), statically co-homed
+	Cold   []uint64 // cold sets, statically spread
+	Waves  int
+	RunLen int // consecutive operations per hot set; one cold op follows each run
+}
+
+// OpsPerWave returns how many non-marker operations one wave delegates.
+func (s SkewedRecursive) OpsPerWave() int { return len(s.Hot) * (s.RunLen + 1) }
+
+// Run streams the shape from inside producer context c. makeOp returns
+// the operation to delegate for each (set, seq) — return a shared func
+// value to keep the driver allocation-free per operation, or a fresh
+// closure to record per-operation data. seq increments across the whole
+// run in delegation order, the order per-set logs must replay.
+func (s SkewedRecursive) Run(c *prometheus.Ctx, makeOp func(set uint64, seq int32) func(*prometheus.Ctx)) {
+	var done atomic.Int64
+	seq := int32(0)
+	opsPerWave := s.OpsPerWave()
+	for wave := 0; wave < s.Waves; wave++ {
+		markers := int64(0)
+		for k := 0; k < opsPerWave; k++ {
+			run := k / (s.RunLen + 1)
+			set := s.Hot[run%len(s.Hot)]
+			if k%(s.RunLen+1) == s.RunLen {
+				set = s.Cold[run%len(s.Cold)]
+			}
+			c.Delegate(set, makeOp(set, seq))
+			seq++
+		}
+		for _, h := range s.Hot {
+			c.Delegate(h, func(*prometheus.Ctx) { done.Add(1) })
+			markers++
+		}
+		for done.Load() < markers {
+			runtime.Gosched()
+		}
+		done.Store(0)
+	}
+}

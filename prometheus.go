@@ -108,17 +108,28 @@ func WithPolicy(p SchedPolicy) Option { return func(c *core.Config) { c.Policy =
 // as the victim. Sets — never individual invocations — are the steal unit,
 // so operations within a set still execute in program order and the model's
 // determinism guarantee is unchanged; only the placement of whole sets
-// responds to load. Requires WithPolicy(LeastLoaded); incompatible with
-// Recursive.
+// responds to load. Requires WithPolicy(LeastLoaded).
+//
+// In recursive mode (Recursive + WithPolicy(LeastLoaded)) the same
+// contract holds across many producer contexts: a set migrates only when
+// every producer's newest operation on it has executed on the owner AND
+// everything the owner itself has delegated onward has drained (the
+// multi-producer quiescent handoff; see doc.go). Placement seeds from the
+// static assignment table, the previous epoch's hottest sets are
+// pre-placed round-robin at BeginIsolation, and the steal threshold
+// adapts within the epoch to the observed delegate-occupancy imbalance
+// unless pinned with WithStealThreshold.
 func WithStealing() Option { return func(c *core.Config) { c.Stealing = true } }
 
-// WithStealThreshold sets the victim backlog (outstanding operations) at
-// which stealing engages. When unset the threshold adapts to the queue
+// WithStealThreshold pins the victim backlog (outstanding operations) at
+// which stealing engages. When unset the threshold starts from the queue
 // capacity (QueueCapacity/4, clamped to [core.MinStealThreshold,
-// core.MaxStealThreshold]): deep rings tolerate deeper backlogs before a
-// handoff pays. Lower values rebalance skew sooner; higher values keep
-// ownership stickier under transient pipelining. Ignored without
-// WithStealing.
+// core.MaxStealThreshold]) and then adapts within each epoch: delegates
+// feed the max/min occupancy ratio they observe at drain-run boundaries
+// into an EWMA, and a skewed epoch pulls the effective threshold toward
+// the clamp floor while a balanced one keeps ownership sticky. Lower
+// explicit values rebalance skew sooner; higher ones keep ownership
+// stickier under transient pipelining. Ignored without WithStealing.
 func WithStealThreshold(n int) Option { return func(c *core.Config) { c.StealThreshold = n } }
 
 // Sequential builds the runtime in the paper's debug mode (§3.3): all
@@ -136,8 +147,12 @@ func WithTrace() Option { return func(c *core.Config) { c.Trace = true } }
 // Recursive enables recursive delegation, the extension the paper names as
 // future work (§4): delegated operations may delegate further operations
 // via Ctx.Delegate. A serialization set must receive delegations from only
-// one context per isolation epoch for the execution to stay deterministic.
-// Incompatible with WithProgramShare and WithPolicy(LeastLoaded).
+// one context per isolation epoch for the execution to stay deterministic
+// (under stealing, the engine may hand that producer role over at
+// quiescent points — the guarantee is unchanged). Incompatible with
+// WithProgramShare. Placement uses the paper's static policy by default;
+// combine with WithPolicy(LeastLoaded) and WithStealing for the
+// occupancy-aware whole-set rebalancer.
 func Recursive() Option { return func(c *core.Config) { c.Recursive = true } }
 
 // Runtime is the serialization-sets runtime. Create one with Init; the

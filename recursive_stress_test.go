@@ -18,10 +18,15 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	prometheus "repro"
+	"repro/internal/workload"
 )
+
+// spinSink defeats dead-code elimination of the skewed stress's busy work.
+var spinSink atomic.Int32
 
 // qsNode recursively sorts data[lo:hi], recording one structure line per
 // tree node into the reducible map keyed by the node's deterministic id
@@ -64,12 +69,23 @@ func qsNode(c *prometheus.Ctx, rec *prometheus.Reducible[map[uint64]string],
 	c.Delegate(right, func(c2 *prometheus.Ctx) { qsNode(c2, rec, data, right, mid, hi) })
 }
 
+// stealingOpts forces the recursive whole-set rebalancer on with an eager
+// threshold, the shape the stealing stress variants run under.
+func stealingOpts() []prometheus.Option {
+	return []prometheus.Option{
+		prometheus.WithPolicy(prometheus.LeastLoaded),
+		prometheus.WithStealing(),
+		prometheus.WithStealThreshold(1),
+	}
+}
+
 // quicksortRun executes one full recursive quicksort and returns a
 // canonical string of the recursion structure plus the sorted output.
-func quicksortRun(t *testing.T, queueCap int) string {
+func quicksortRun(t *testing.T, queueCap int, extra ...prometheus.Option) string {
 	t.Helper()
-	rt := prometheus.Init(prometheus.WithDelegates(4), prometheus.Recursive(),
-		prometheus.Checked(), prometheus.WithQueueCapacity(queueCap))
+	opts := append([]prometheus.Option{prometheus.WithDelegates(4), prometheus.Recursive(),
+		prometheus.Checked(), prometheus.WithQueueCapacity(queueCap)}, extra...)
+	rt := prometheus.Init(opts...)
 	defer rt.Terminate()
 	const n = 4096
 	rng := rand.New(rand.NewSource(7))
@@ -122,11 +138,12 @@ func TestRecursiveQuicksortDeterminism(t *testing.T) {
 // round-robin into per-group serialization sets (first level), and each
 // group operation periodically delegates a second-level operation to its
 // group's conditional set. Per-set logs must replay the producer's program
-// order exactly. Returns the canonical log string and the spill count.
-func fpmRun(t *testing.T, queueCap int) (string, uint64) {
+// order exactly. Returns the canonical log string and the run's Stats.
+func fpmRun(t *testing.T, queueCap int, extra ...prometheus.Option) (string, prometheus.Stats) {
 	t.Helper()
-	rt := prometheus.Init(prometheus.WithDelegates(3), prometheus.Recursive(),
-		prometheus.Checked(), prometheus.WithQueueCapacity(queueCap))
+	opts := append([]prometheus.Option{prometheus.WithDelegates(3), prometheus.Recursive(),
+		prometheus.Checked(), prometheus.WithQueueCapacity(queueCap)}, extra...)
+	rt := prometheus.Init(opts...)
 	defer rt.Terminate()
 	const (
 		groups = 8
@@ -151,8 +168,124 @@ func fpmRun(t *testing.T, queueCap int) (string, uint64) {
 		}
 	})
 	rt.EndIsolation()
-	spills := rt.Stats().Spills
-	return fmt.Sprint(logs, logs2), spills
+	return fmt.Sprint(logs, logs2), rt.Stats()
+}
+
+// TestRecursiveStealingQuicksortDeterminism: the quicksort shape with the
+// whole-set rebalancer forced on (eager threshold, default and tiny
+// lanes). Placement may now change run to run AND mid-epoch; the recursion
+// structure and per-set op order must not.
+func TestRecursiveStealingQuicksortDeterminism(t *testing.T) {
+	for _, queueCap := range []int{0, 8} {
+		first := quicksortRun(t, queueCap, stealingOpts()...)
+		if want := quicksortRun(t, queueCap); want != first {
+			t.Fatalf("queueCap=%d: stealing run diverged from non-stealing run", queueCap)
+		}
+		for run := 1; run < 6; run++ {
+			if got := quicksortRun(t, queueCap, stealingOpts()...); got != first {
+				t.Fatalf("queueCap=%d: stealing run %d diverged from run 0:\n--- run0\n%.400s\n--- run%d\n%.400s",
+					queueCap, run, first, run, got)
+			}
+		}
+	}
+}
+
+// TestRecursiveStealingFPMDeterminism: the FPM shape under stealing with
+// tiny lanes (forced spills) — per-set logs must still replay program
+// order exactly whatever the rebalancer does. On this shape the victims
+// are themselves producers (group ops delegate second-level work), so the
+// outbound-drain condition usually vetoes migration — few or zero
+// handoffs here is the protocol being correctly conservative; the skewed
+// stress below is the shape that asserts handoffs fire.
+func TestRecursiveStealingFPMDeterminism(t *testing.T) {
+	var want string
+	{
+		logs := make([][]int32, 8)
+		logs2 := make([][]int32, 8)
+		for i := 0; i < 2000; i++ {
+			g := i % 8
+			logs[g] = append(logs[g], int32(i))
+			if i%7 == 0 {
+				logs2[g] = append(logs2[g], int32(i))
+			}
+		}
+		want = fmt.Sprint(logs, logs2)
+	}
+	var steals uint64
+	for _, queueCap := range []int{0, 4} {
+		for run := 0; run < 6; run++ {
+			got, st := fpmRun(t, queueCap, stealingOpts()...)
+			if got != want {
+				t.Fatalf("queueCap=%d run %d: per-set op order diverged from program order under stealing", queueCap, run)
+			}
+			steals += st.Steals
+			if st.Steals != st.Handoffs {
+				t.Fatalf("recursive Steals (%d) != Handoffs (%d)", st.Steals, st.Handoffs)
+			}
+		}
+	}
+	t.Logf("fpm stealing runs performed %d whole-set handoffs total", steals)
+}
+
+// TestRecursiveStealingSkewedDeterminism is the shape the rebalancer
+// exists for — a delegate-context producer streams a 90/10-skewed workload
+// (workload.SkewedRecursive) whose hot sets all seed on one delegate — and
+// the test that proves steals actually fire while per-set op order stays
+// byte-identical across runs. Wave throttling (marker waits between waves)
+// creates the quiescent boundaries the protocol migrates at; the spin in
+// each operation keeps the victim observably occupied when the next
+// delegation routes.
+func TestRecursiveStealingSkewedDeterminism(t *testing.T) {
+	// Delegates=4, VirtualDelegates=16: set s<16 seeds on delegate s%4+1.
+	// Root set 1 -> delegate 2 (the producer); hot sets {0,4,8} all seed on
+	// delegate 1; cold sets {2,6} on delegate 3.
+	shape := workload.SkewedRecursive{
+		Hot:    []uint64{0, 4, 8},
+		Cold:   []uint64{2, 6},
+		Waves:  20,
+		RunLen: 3,
+	}
+	run := func() (string, prometheus.Stats) {
+		opts := append([]prometheus.Option{prometheus.WithDelegates(4), prometheus.Recursive(),
+			prometheus.Checked(), prometheus.WithQueueCapacity(64)}, stealingOpts()...)
+		rt := prometheus.Init(opts...)
+		defer rt.Terminate()
+		// Indexed by set id: concurrent operations of different sets touch
+		// disjoint slots (a shared map header would race).
+		var logs [9][]int32
+		w := prometheus.NewWritable(rt, 0)
+		rt.BeginIsolation()
+		w.DelegateTo(1, func(c *prometheus.Ctx, _ *int) {
+			shape.Run(c, func(set uint64, seq int32) func(*prometheus.Ctx) {
+				return func(*prometheus.Ctx) {
+					logs[set] = append(logs[set], seq)
+					spin := int32(0)
+					for i := int32(0); i < 50000; i++ {
+						spin += i
+					}
+					spinSink.Add(spin)
+				}
+			})
+		})
+		rt.EndIsolation()
+		return fmt.Sprint(logs[0], logs[4], logs[8], logs[2], logs[6]), rt.Stats()
+	}
+
+	first, st0 := run()
+	if st0.Steals == 0 {
+		t.Fatal("skewed stealing run performed no whole-set handoffs")
+	}
+	t.Logf("run 0: %d handoffs, %d threshold adjusts, %d hot sets pre-placed",
+		st0.Handoffs, st0.ThresholdAdjusts, st0.HotSetsPlaced)
+	for run2 := 1; run2 < 6; run2++ {
+		got, st := run()
+		if got != first {
+			t.Fatalf("run %d: per-set op order diverged under stealing\n got: %.300s\nwant: %.300s", run2, got, first)
+		}
+		if st.Steals == 0 {
+			t.Fatalf("run %d performed no whole-set handoffs", run2)
+		}
+	}
 }
 
 func TestRecursiveFPMStreamDeterminism(t *testing.T) {
@@ -173,7 +306,7 @@ func TestRecursiveFPMStreamDeterminism(t *testing.T) {
 	}
 	for _, queueCap := range []int{0, 4} {
 		for run := 0; run < 6; run++ {
-			got, spills := fpmRun(t, queueCap)
+			got, st := fpmRun(t, queueCap)
 			if got != want {
 				t.Fatalf("queueCap=%d run %d: per-set op order diverged from program order", queueCap, run)
 			}
@@ -181,11 +314,11 @@ func TestRecursiveFPMStreamDeterminism(t *testing.T) {
 			// and 5, so ~500 first-level delegations are self-delegations
 			// that cannot drain until the root returns: with 4-slot rings
 			// the spill path is structurally guaranteed to engage.
-			if queueCap == 4 && spills == 0 {
+			if queueCap == 4 && st.Spills == 0 {
 				t.Fatalf("run %d: tiny lanes never spilled — spill path not exercised", run)
 			}
-			if queueCap == 0 && run == 0 && spills > 0 {
-				t.Logf("default rings spilled %d (allowed, informational)", spills)
+			if queueCap == 0 && run == 0 && st.Spills > 0 {
+				t.Logf("default rings spilled %d (allowed, informational)", st.Spills)
 			}
 		}
 	}

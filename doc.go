@@ -194,11 +194,16 @@
 // drain-run boundaries ARE the acknowledgment — lanes are FIFO, so an
 // executed count at or past a position proves that operation and its
 // whole lane prefix have finished — and the per-set epoch stamp (bumped
-// once per handoff, after the new owner is published) lets any observer
-// on the drain or delegation path order what it read against a concurrent
-// migration without a mutex. Since only the set's single producer routes
+// once per handoff, after the new owner is published) counts migrations
+// for tests and debugging; no protocol step depends on reading it.
+// Since only the set's single producer routes
 // operations to it, the migration is a single-writer update observed
-// through those atomics.
+// through those atomics. Recorded positions are relative to ONE owner's
+// counters, so the migration rebases them: former producers' entries are
+// zeroed (the quiescence proof at the handoff boundary makes them moot —
+// left stale they would be compared against the new owner's unrelated
+// counters) and the acting producer's entry is fenced at the thief's
+// current lane depth before the new owner is published.
 //
 // Two placement rules keep the engine from manufacturing hazards the
 // program didn't write: a set is never handed to its own producer's

@@ -32,16 +32,19 @@ import (
 //     executed counter for that producer's lane — the safe multi-producer
 //     handoff boundary. In-flight work needs no lock and no explicit ack
 //     from the victim: the victim's per-lane executed publishes at
-//     drain-run boundaries ARE the ack, and the per-set stamp below orders
-//     the handoffs for any observer.
+//     drain-run boundaries ARE the ack; the per-set stamp below counts the
+//     handoffs for tests and debugging.
 //
 //   - Only the set's producer (one context per set per isolation epoch —
 //     the discipline Checked mode enforces) routes operations to it, so
-//     the migration itself is a single-writer update: store the thief as
-//     owner, bump the per-set handoff stamp, and conservatively fence the
-//     producer's own lastPos at the thief's current lane position so the
-//     set cannot immediately migrate again ahead of work already queued in
-//     the thief's lane. Everything delegated to the set before the handoff
+//     the migration itself is a single-writer update: zero every former
+//     producer's lastPos (positions are relative to the OLD owner's
+//     counters, and the migration-time quiescence proof makes them moot),
+//     conservatively fence the producer's own lastPos at the thief's
+//     current lane position so the set cannot immediately migrate again
+//     ahead of work already queued in the thief's lane, then store the
+//     thief as owner and bump the per-set handoff stamp. Everything
+//     delegated to the set before the handoff
 //     has executed on the victim before the first operation after it is
 //     enqueued on the thief, so per-set program order — and with it the
 //     model's determinism — is preserved by construction; only placement
@@ -93,8 +96,10 @@ type recSetEntry struct {
 	producer atomic.Int32
 	// stamp counts whole-set handoffs this epoch (the per-set epoch
 	// stamp): bumped once per migration, after the new owner is published.
-	// Observers that read owner and then stamp can detect a concurrent
-	// handoff without any lock on the drain or delegation path.
+	// Nothing on the drain or delegation path depends on it today — the
+	// protocol's ordering rests entirely on the laneSent/laneExec ledgers —
+	// it is observability state: tests and debugging read it to tell that
+	// (and how often) a set moved between two of their own reads.
 	stamp atomic.Uint64
 	// ops counts operations delegated to the set this epoch; BeginIsolation
 	// ranks the previous epoch's sets by it to pre-place the hottest ones.
@@ -276,7 +281,7 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 	owners := st.owners.Load()
 	e := owners.lookup(set)
 	if e != nil {
-		if e.producer.Load() != int32(producer) {
+		if prev := e.producer.Load(); prev != int32(producer) {
 			// Producer handover: the set's delegations now arrive through a
 			// different lane, so the set must be quiescent — otherwise the
 			// old lane's in-flight operations have no order against the new
@@ -284,13 +289,27 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 			// holds (maybeStealRec's outbound-drain condition); reaching a
 			// non-quiescent one means the program itself delegated the set
 			// from two contexts, the discipline Checked mode rejects.
-			if rt.cfg.Checked && e.producer.Load() >= 0 &&
+			if rt.cfg.Checked && prev >= 0 &&
 				!e.quiescentOn(rt.rec.delegates[e.owner.Load()-1]) {
 				panic(fmt.Sprintf(
 					"prometheus: serializer violation: set %d delegated from context %d while operations from context %d are in flight (under recursive stealing a set must receive delegations from one producing set — or the program context — per epoch; producer handover is legal only at a quiescent point)",
-					set, producer, e.producer.Load()))
+					set, producer, prev))
 			}
-			e.producer.Store(int32(producer))
+			if !e.producer.CompareAndSwap(prev, int32(producer)) {
+				// The CAS can only lose to another context claiming the
+				// producer role at the same moment: two concurrent producers
+				// on one set, the very violation the quiescence check above
+				// can miss when both load a quiescent snapshot. Detect it
+				// deterministically in Checked mode; unchecked runs keep the
+				// old last-writer-wins behavior (the program is already
+				// outside the model, so any placement is as good as another).
+				if rt.cfg.Checked {
+					panic(fmt.Sprintf(
+						"prometheus: serializer violation: set %d delegated from contexts %d and %d concurrently (under recursive stealing a set must receive delegations from one producing set — or the program context — per epoch)",
+						set, producer, e.producer.Load()))
+				}
+				e.producer.Store(int32(producer))
+			}
 			if int(e.owner.Load()) == producer && e.ops.Load() == 0 && rt.cfg.Delegates > 1 {
 				// A hot-seeded placement guessed from the previous epoch's
 				// producer, and the producer moved onto exactly that
@@ -298,7 +317,12 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 				// set a self-delegation the producer may block waiting on —
 				// a placement the engine must never introduce (same rule as
 				// the thief scan). Nothing has been delegated yet, so the
-				// empty entry can simply be re-homed next door.
+				// empty entry can simply be re-homed next door. A set WITH
+				// history whose handover lands it on its own producer (e.g.
+				// the producing set migrated onto this set's owner) is
+				// evacuated by maybeStealRec below, which retries on every
+				// delegation under the full safety conditions — including the
+				// outbound-drain check a bare re-home here could not honor.
 				e.owner.Store(int32(producer%rt.cfg.Delegates + 1))
 			}
 		}
@@ -306,9 +330,20 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 	} else {
 		// First touch this epoch: seed from the static assignment table
 		// (hot sets were pre-placed by reseed before the epoch opened) and
-		// let the rebalancer move it from there.
+		// let the rebalancer move it from there. Claim the producer role by
+		// CAS from the unclaimed -1: the lookup above missing means no
+		// delegation to this set has been ORDERED before ours, so a lost CAS
+		// can only be another context touching the set concurrently — the
+		// same two-producer violation the handover path detects.
 		e = owners.insert(set, newRecSetEntry(rt.vmap[set%uint64(len(rt.vmap))], len(rt.rec.enq)))
-		e.producer.Store(int32(producer))
+		if !e.producer.CompareAndSwap(-1, int32(producer)) {
+			if rt.cfg.Checked {
+				panic(fmt.Sprintf(
+					"prometheus: serializer violation: set %d delegated from contexts %d and %d concurrently (under recursive stealing a set must receive delegations from one producing set — or the program context — per epoch)",
+					set, producer, e.producer.Load()))
+			}
+			e.producer.Store(int32(producer))
+		}
 	}
 	owner := int(e.owner.Load())
 	pos := &st.laneSent[owner-1][producer]
@@ -324,6 +359,15 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 // — with the quiescence check widened to every producer lane. The common
 // case (owner below threshold) costs O(producers) counter loads and no
 // atomics beyond them; nothing on this path takes a lock.
+//
+// One placement forces a migration regardless of load: the producer's own
+// delegate owning the set (a producer handover can create this — e.g. the
+// producing set migrated onto the delegate where this nested set lives).
+// Every operation routed there would be a self-delegation the producer may
+// block waiting on, so the set is evacuated to the least-occupied peer as
+// soon as the SAME safety conditions an ordinary steal needs hold —
+// quiescence and the victim's outbound lanes drained; until they do, the
+// evacuation is simply retried on the next delegation.
 func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
 	rec := rt.rec
 	st := rec.steal
@@ -335,9 +379,13 @@ func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
 	if e.lastPos[producer].Load() > vd.laneExec[producer].Load() {
 		return
 	}
-	vOut := rt.recOccupancy(v)
-	if vOut < uint64(rt.stealThreshold()) {
-		return
+	forced := v == producer // self-owned: evacuate, don't wait for load
+	var vOut uint64
+	if !forced {
+		vOut = rt.recOccupancy(v)
+		if vOut < uint64(rt.stealThreshold()) {
+			return
+		}
 	}
 	if !e.quiescentOn(vd) {
 		return // another producer's newest op on this set is queued or running
@@ -371,13 +419,26 @@ func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
 			thief, tOut = d.id, o
 		}
 	}
-	if thief == 0 || tOut*4 > vOut {
+	if thief == 0 || (!forced && tOut*4 > vOut) {
 		return // no peer meaningfully less occupied than the victim
 	}
 	// Quiescent multi-producer boundary reached: hand the whole set over.
-	// Fence our own lastPos at the thief's current lane depth first, so the
-	// set cannot look quiescent on the thief ahead of messages already
-	// queued there, then publish the new owner and stamp the handoff.
+	// lastPos values are lane positions relative to ONE owner's counters,
+	// and the owner is about to change, so every recorded position is now
+	// meaningless: former producers' entries would be compared against the
+	// thief's unrelated laneExec and could keep the set looking
+	// non-quiescent forever (blocking every future handoff, and spuriously
+	// tripping the Checked-mode handover panic on a legal program). The
+	// quiescence + outbound-drain checks above proved the set fully drained
+	// on the victim, and we are its sole producer, so zero the stale
+	// entries, fence our own lastPos at the thief's current lane depth (the
+	// set must not look quiescent on the thief ahead of messages already
+	// queued there), then publish the new owner and stamp the handoff.
+	for q := range e.lastPos {
+		if q != producer {
+			e.lastPos[q].Store(0)
+		}
+	}
 	e.lastPos[producer].Store(st.laneSent[thief-1][producer].n.Load())
 	e.owner.Store(int32(thief))
 	e.stamp.Add(1)
@@ -472,6 +533,17 @@ func rankHotSets(owners *recOwnerTable, k int) []hotSeed {
 // ewmaFP is the fixed-point scale of the imbalance EWMA (ratio 1.0 == 16).
 const ewmaFP = 16
 
+// imbalanceSampleStride is how many drain runs a delegate completes between
+// imbalance samples. Sampling is O(delegates·producers) loads plus RMWs on
+// shared EWMA words, so doing it at EVERY drain-run boundary would put
+// cross-core cache-line ping-pong inside the hottest consumer loops; one
+// sample every stride runs feeds the EWMA the same signal (occupancy spread
+// changes over many runs, not one) at a fraction of the cost. Idle
+// recursive delegates sample eagerly while spinning down instead — they
+// ARE the min-occupancy extreme the EWMA exists to detect, and they have
+// nothing better to do — which keeps skew detection fast.
+const imbalanceSampleStride = 8
+
 // stealThreshold returns the effective threshold for this delegation:
 // the adaptive value when the threshold was derived, the configured one
 // when it was explicit.
@@ -501,8 +573,16 @@ func (rt *Runtime) noteImbalance(maxOcc, minOcc uint64) {
 	if ewma < 1 {
 		ewma = 1 // divide guard: racy lost updates must never zero the EWMA
 	}
-	rt.imbalanceEWMA.Store(ewma)
-	thr := int64(rt.cfg.StealThreshold) * 2 * ewmaFP / ewma
+	if ewma != old {
+		// Guarded like adaptiveThr below: in a balanced steady state every
+		// sampler would otherwise re-store the same value, dirtying the
+		// shared line the idle-delegate samplers all read.
+		rt.imbalanceEWMA.Store(ewma)
+	}
+	// At balance (ewma == ewmaFP) this is exactly the configured base —
+	// the capacity-derived default the config docs promise — and skew only
+	// ever scales it DOWN from there toward the clamp floor.
+	thr := int64(rt.cfg.StealThreshold) * ewmaFP / ewma
 	if thr < MinStealThreshold {
 		thr = MinStealThreshold
 	}

@@ -387,3 +387,110 @@ func TestRecursiveStealingOrderStress(t *testing.T) {
 		t.Fatal("stress run never performed a recursive handoff")
 	}
 }
+
+// TestRecursiveHandoverOffOwnProducer: a producer handover that lands on
+// the set's own delegate (e.g. the producing set migrated onto the delegate
+// where this nested set lives) must evacuate the set — even with history —
+// as soon as the safety conditions (quiescence + victim outbound lanes
+// drained) hold, here on the very first delegation. A self-delegation
+// placement the program didn't choose is hazardous: the producer's
+// operations may block waiting on the set's, and the owner would then
+// never drain its own lane.
+func TestRecursiveHandoverOffOwnProducer(t *testing.T) {
+	rt := newTestRuntime(t, recStealCfg(2, MaxStealThreshold)) // no occupancy steals
+	rt.BeginIsolation()
+
+	var order []int
+	// Set 200 (static home delegate 1) gets history from the program.
+	rt.Delegate(200, func(int) { order = append(order, 1) })
+	waitLaneExec(t, rt, 1, ProgramContext, 1)
+
+	// Handover to delegate 1's own context: the producing op (set 100,
+	// static home delegate 1) delegates to set 200 from context 1.
+	var routed atomic.Int64
+	done := make(chan struct{})
+	rt.Delegate(100, func(ctx int) {
+		routed.Store(int64(rt.DelegateFrom(ctx, 200, func(int) { order = append(order, 2) })))
+		close(done)
+	})
+	<-done
+	rt.EndIsolation()
+
+	if got := routed.Load(); got != 2 {
+		t.Fatalf("handover onto own producer routed to %d, want re-homed to delegate 2", got)
+	}
+	if got := recOwner(rt, 200); got != 2 {
+		t.Fatalf("owner table has set 200 on %d, want 2", got)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("per-set order across forced re-home = %v, want [1 2]", order)
+	}
+	if st := rt.Stats(); st.Handoffs != 1 {
+		t.Fatalf("Handoffs = %d, want 1 (forced re-home is a migration)", st.Handoffs)
+	}
+}
+
+// TestRecursiveStealResetsStaleProducerPositions regresses the
+// handover -> steal -> handover shape: lastPos values recorded by FORMER
+// producers are lane positions relative to the OLD owner's counters, so a
+// migration must zero them. Left stale, quiescentOn compares them against
+// the new owner's unrelated laneExec, the set looks non-quiescent forever
+// (no further handoff can ever fire), and the next legal producer handover
+// trips the Checked-mode serializer-violation panic on a correct program.
+func TestRecursiveStealResetsStaleProducerPositions(t *testing.T) {
+	cfg := recStealCfg(3, 1)
+	cfg.Checked = true
+	rt := newTestRuntime(t, cfg)
+	rt.BeginIsolation()
+
+	var order []int
+	// The program produces set 0's first op (recording a position in
+	// delegate 1's program lane), then hands the producer role to delegate
+	// 2's context at the quiescent boundary.
+	rt.Delegate(0, func(int) { order = append(order, 1) })
+	waitLaneExec(t, rt, 1, ProgramContext, 1)
+	step1 := make(chan struct{})
+	rt.Delegate(1, func(ctx int) { // producer op runs on delegate 2
+		rt.DelegateFrom(ctx, 0, func(int) { order = append(order, 2) })
+		close(step1)
+	})
+	<-step1
+	waitLaneExec(t, rt, 1, 2, 1)
+
+	// Steal: pin delegate 1 (set 3's static home) so it is a loaded victim,
+	// then delegate to the quiescent set 0 from its current producer.
+	release := startGated(rt, 3)
+	var stolenTo atomic.Int64
+	step2 := make(chan struct{})
+	rt.Delegate(1, func(ctx int) {
+		stolenTo.Store(int64(rt.DelegateFrom(ctx, 0, func(int) { order = append(order, 3) })))
+		close(step2)
+	})
+	<-step2
+	release()
+	if got := stolenTo.Load(); got != 3 {
+		t.Fatalf("set 0 routed to %d, want stolen to idle delegate 3", got)
+	}
+
+	// The migration must have zeroed the former producer's position — it
+	// described delegate 1's lanes, which the new owner knows nothing about.
+	e := rt.rec.steal.owners.Load().lookup(0)
+	if pos := e.lastPos[ProgramContext].Load(); pos != 0 {
+		t.Fatalf("former producer's lastPos = %d after migration, want 0", pos)
+	}
+
+	// Hand the producer role back to the program context at the new owner's
+	// quiescent boundary: a legal handover Checked mode must accept (stale
+	// positions would read as in-flight work here and panic).
+	waitLaneExec(t, rt, 3, 2, 1)
+	rt.Delegate(0, func(int) { order = append(order, 4) })
+	rt.EndIsolation()
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("per-set order = %v, want [1 2 3 4]", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("per-set order = %v, want [1 2 3 4]", order)
+	}
+}

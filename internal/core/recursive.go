@@ -343,7 +343,7 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 	buf := make([]Invocation, drainBatchSize)
 	var executed uint64 // method invocations completed; published via d.exec
 	adaptive := rt.cfg.Stealing && rt.cfg.AdaptiveSteal
-	spin := 0
+	spin, sampleTick := 0, 0
 	for {
 		progress := false
 		for w := range d.pending {
@@ -360,17 +360,29 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 		}
 		if progress {
 			if adaptive {
-				// Drain-run boundary: feed the pool-wide occupancy spread
-				// into the in-epoch threshold EWMA.
-				rt.sampleImbalanceRec()
+				// Every imbalanceSampleStride-th drain-run boundary: feed the
+				// pool-wide occupancy spread into the in-epoch threshold EWMA.
+				if sampleTick++; sampleTick >= imbalanceSampleStride {
+					sampleTick = 0
+					rt.sampleImbalanceRec()
+				}
 			}
 			spin = 0
 			continue
 		}
 		spin++
 		if spin < spinBeforeParkRec {
-			if spin%16 == 0 {
-				runtime.Gosched()
+			if spin%4 == 0 {
+				if adaptive {
+					// An idle delegate is the min-occupancy extreme the
+					// imbalance EWMA exists to detect, and it has nothing
+					// better to do: sample eagerly here so skew is noticed
+					// while the busy path samples only every stride-th run.
+					rt.sampleImbalanceRec()
+				}
+				if spin%16 == 0 {
+					runtime.Gosched()
+				}
 			}
 			continue
 		}

@@ -204,6 +204,7 @@ func (rt *Runtime) delegateLoop(d *delegate) {
 	buf := make([]Invocation, drainBatchSize)
 	var executed uint64 // method invocations completed; published via d.executed
 	adaptive := rt.cfg.Stealing && rt.cfg.AdaptiveSteal
+	sampleTick := 0
 	for {
 		inv, ok := d.queue.Pop()
 		if !ok { // queue closed and drained
@@ -229,9 +230,13 @@ func (rt *Runtime) delegateLoop(d *delegate) {
 			// their closures and payloads until the buffer is refilled.
 			clear(buf[:n])
 			if adaptive {
-				// Drain-run boundary: feed the queue-depth spread across
-				// the pool into the in-epoch steal-threshold EWMA.
-				rt.sampleImbalanceFlat()
+				// Every imbalanceSampleStride-th drain-run boundary: feed the
+				// queue-depth spread across the pool into the in-epoch
+				// steal-threshold EWMA.
+				if sampleTick++; sampleTick >= imbalanceSampleStride {
+					sampleTick = 0
+					rt.sampleImbalanceFlat()
+				}
 			}
 		}
 	}

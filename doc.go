@@ -205,32 +205,71 @@
 // counters) and the acting producer's entry is fenced at the thief's
 // current lane depth before the new owner is published.
 //
+// Migrating a set also moves the PRODUCER ROLE of its operations: nested
+// sets they delegate to start receiving through the thief's lanes, which
+// is only safe once everything the set already fed them through the
+// victim's lanes has executed. PR 4 enforced that with a global veto —
+// every lane the victim feeds as a producer fully drained, any set's
+// traffic — which was safe but conservative enough to leave a liveness
+// hole. The condition is now precise, carried by a per-set outbound
+// ledger: while one of a set's operations executes, the drain loop stamps
+// that set as the delegate's producing set, and every nested delegation
+// the operation issues records its lane position into the set's entry
+// (outPos[target] = the newest position of the set's own traffic in the
+// target's lane). A set may migrate exactly when its OWN recorded
+// positions are covered by the targets' per-lane executed counters; other
+// sets' in-flight lanes no longer block it. The ledger rides the existing
+// machinery: one plain producing-set stamp per executed operation, one
+// atomic store per nested delegation (against a one-slot entry cache, so
+// runs of one set's operations resolve the entry once), zero allocations
+// — the ledger is not built at all unless stealing is enabled, so the
+// static recursive hot path is untouched. Cost budget: the stealing-off
+// paths stay exactly at PR 3's 0 allocs/op gates, and the stealing-on
+// delegation adds two atomic stores and a three-field cache check
+// (alloc_test.go and cmd/benchgate hold both).
+//
 // Two placement rules keep the engine from manufacturing hazards the
 // program didn't write: a set is never handed to its own producer's
 // context (that would silently turn its operations into self-delegations
-// the producer may be blocked waiting on), and a migration additionally
-// requires the victim's own outbound lanes to be drained, because moving
-// a set also moves the producer role of its operations — nested sets they
-// delegate to must not have old-lane operations still in flight when
-// delegations start arriving through the thief's lanes (recRoute verifies
-// the property per nested set; Checked mode turns a violation into a
-// panic). The producer discipline sharpens accordingly: under stealing, a
-// set must receive its delegations from the operations of a single
-// producing set (or from the program context) per epoch — one producing
-// SET, not merely one context — so that a migration of the producing set
-// moves all of the nested set's delegations together.
+// the producer may be blocked waiting on), and when a producer handover
+// nevertheless lands a set on its own producer's delegate — the producing
+// set migrated onto the delegate where the nested set lives — the set is
+// force-evacuated to the least-occupied peer under the same quiescence +
+// outbound-coverage conditions an ordinary steal needs. The precision of
+// the ledger is what makes the evacuation live: under the global veto an
+// unrelated in-flight stream could veto it forever while the set's
+// operations self-enqueued, and a program blocking mid-operation on its
+// own nested delegations would livelock (the regression stress proves the
+// hang under the legacy veto, which survives as an internal
+// negative-control knob). When only the set's own coverage is missing,
+// the producer waits for it on the spot — event-driven off the ledger,
+// bounded, never on traffic only the victim itself could drain — because
+// for a program about to block, that delegation is the engine's last
+// scheduling decision. recRoute verifies the handover property per nested
+// set; Checked mode turns a violation into a panic, and re-asserts ledger
+// coverage immediately before every owner publish as a cross-check. The
+// producer discipline sharpens accordingly: under stealing, a set must
+// receive its delegations from the operations of a single producing set
+// (or from the program context) per epoch — one producing SET, not merely
+// one context — so that a migration of the producing set moves all of the
+// nested set's delegations together.
 //
 // On top of the handoff protocol sit two placement heuristics: hot-set
 // seeded placement — BeginIsolation ranks the closing epoch's sets by
 // delegated-op count (near-free from the owner table) and pre-places the
 // top few round-robin across delegates, instead of letting first-touch
 // assignment pile them onto whichever delegate looked emptiest at the
-// epoch's first instant — and an in-epoch adaptive steal threshold, an
-// EWMA of the max/min delegate-occupancy ratio sampled at drain-run
-// boundaries that pulls the capacity-derived threshold toward its clamp
-// floor in skewed epochs and keeps ownership sticky in balanced ones.
-// Stats reports Steals, Handoffs, ThresholdAdjusts, and HotSetsPlaced for
-// all of it.
+// epoch's first instant — and an in-epoch adaptive steal policy, an EWMA
+// of the max/min delegate-occupancy ratio sampled at drain-run boundaries
+// (with a final sample as each delegate parks, so a spun-down pool's
+// stale extremes do not freeze the signal) that pulls the
+// capacity-derived threshold toward its clamp floor and relaxes the
+// thief-eligibility ratio (4x at balance, clamped [2,8]) in skewed
+// epochs, and keeps ownership sticky in balanced ones. Both reset to
+// their configured base at every BeginIsolation — the adaptation is
+// in-epoch by contract — and an explicit WithStealThreshold pins both.
+// Stats reports Steals, Handoffs, ForcedEvacs, OutboundVetoes,
+// OutboundTracked, ThresholdAdjusts, and HotSetsPlaced for all of it.
 //
 // BenchmarkDelegateOverhead, BenchmarkRecursiveOverhead, BenchmarkSPSC,
 // BenchmarkLane, BenchmarkCoreDelegateSkewed and BenchmarkRecursiveSkewed

@@ -26,6 +26,19 @@ const (
 	MaxStealThreshold = 64
 )
 
+// Thief-eligibility ratio clamps. A steal requires the thief to be idle or
+// at most 1/R as loaded as the victim; R defaults to defaultStealRatio and,
+// under AdaptiveSteal, tracks the same imbalance EWMA as the threshold —
+// skewed epochs relax it toward minStealRatio so help arrives even when no
+// peer is dramatically idler, balanced epochs tighten it toward
+// maxStealRatio-bounded stickiness. An explicit WithStealThreshold pins
+// both the threshold and the ratio (AdaptiveSteal off).
+const (
+	defaultStealRatio = 4
+	minStealRatio     = 2
+	maxStealRatio     = 8
+)
+
 // drainBatchSize bounds the delegate-side drain buffer: after each blocking
 // pop, the delegate PopBatches up to this many further invocations and
 // executes them without re-arming the wake machinery. 64 invocation-sized
@@ -147,9 +160,25 @@ type Config struct {
 	AdaptiveSteal bool
 
 	// Trace enables execution tracing: every delegated-operation execution,
-	// synchronization, and epoch transition is recorded with timestamps
-	// into per-context buffers, retrievable via Runtime.TraceEvents.
+	// synchronization, epoch transition, and whole-set steal is recorded
+	// with timestamps into per-context buffers, retrievable via
+	// Runtime.TraceEvents.
 	Trace bool
+
+	// LegacyOutboundVeto restores PR 4's conservative outbound-drain
+	// condition for recursive whole-set migration: a set may leave its
+	// owner only when EVERY lane the owner feeds as a producer is fully
+	// drained, regardless of which set's operations pushed into it. The
+	// default (false) uses the precise per-set outbound ledger instead —
+	// only the migrating set's own recorded outbound traffic must be
+	// covered. The legacy veto is strictly stronger, so it is safe but has
+	// a documented liveness hole: a set force-evacuated off its own
+	// producer's delegate can be vetoed forever by unrelated in-flight
+	// lanes, and a program that blocks mid-operation on its own nested
+	// delegations then livelocks. Kept as a debugging/negative-control
+	// knob (the livelock regression stress runs under it to prove the
+	// hang); not exposed as a public Option.
+	LegacyOutboundVeto bool
 
 	// Recursive enables recursive delegation (the paper's named future-work
 	// extension): delegated operations may delegate further operations

@@ -13,6 +13,18 @@ const (
 	kindTerminate                       // shut down the delegate
 )
 
+// noSetID marks a method invocation that belongs to no serialization set —
+// pool tasks handed out by RunParallel, which execute on delegate contexts
+// but were never routed through a set. Under recursive stealing the drain
+// loop stamps the executing invocation's set as the producing set of any
+// nested delegations it issues (the outbound-attribution half of the
+// per-set handoff ledger, recsteal.go); noSetID is what keeps a task's
+// delegations from being charged to whatever set the delegate ran last.
+// The engine reserves this one id — a user delegation to set ^uint64(0)
+// would have its outbound traffic dropped from the ledger — and Checked
+// mode rejects it with a panic (recEnqueue).
+const noSetID = ^uint64(0)
+
 // Trampoline is the statically-dispatched form of a delegated operation:
 // a plain function pointer plus two payload words. Wrapper layers bind one
 // trampoline per wrapper type (not per call), so a steady-state delegation

@@ -53,25 +53,66 @@ import (
 //   - Migrating a set also moves the PRODUCER ROLE its operations play:
 //     operations of the migrated set that delegate further (nested sets)
 //     start arriving through the thief's lanes instead of the victim's.
-//     That handover is only safe if nothing those nested sets received
-//     through the victim's lanes is still in flight, so a set may migrate
-//     away from victim v only when every lane v feeds as a producer is
-//     fully drained (laneSent[d][v] covered by d's laneExec[v] for all d)
-//     — the outbound-drain condition. recRoute double-checks the property
-//     per nested set: a delegation that changes a set's recorded producer
-//     must find the set quiescent, which Checked mode enforces with a
-//     panic.
+//     That handover is only safe if nothing THE MIGRATING SET'S OWN
+//     operations pushed through the victim's lanes is still in flight —
+//     the outbound-coverage condition, checked against a precise per-set
+//     outbound ledger. While an operation of set S executes on S's owner
+//     v, the drain loop stamps S as v's producing set
+//     (recDelegate.prodSet); every nested delegation that operation
+//     issues records its lane position into S's entry
+//     (recSetEntry.outPos[d] = the laneSent[d][v] count of the newest
+//     S-issued message in delegate d+1's lane v). S may migrate away from
+//     v exactly when, for every target d, outPos[d] is covered by d's
+//     laneExec[v]: lanes are FIFO, so coverage proves every nested
+//     delegation S's operations ever issued from v has executed — the
+//     nested sets have nothing of S's in flight, and delegations arriving
+//     through the thief's lanes afterwards are fully ordered behind them.
 //
-//     The condition is a snapshot, so it sharpens the program-side
-//     discipline rather than replacing it: under stealing, a nested set
-//     must receive its delegations from the operations of ONE producing
-//     set (or from the program context) — not merely one context. Two
-//     parent sets on one delegate feeding the same nested set satisfies
-//     the static one-context rule, but migrating either parent would
-//     split the nested set's delegations across two contexts with no
-//     mutual order, which no snapshot at migration time can prevent.
-//     recRoute's quiescence check is exactly the runtime test of this
-//     rule, and its panic names it.
+//     Why per-set suffices where PR 4 demanded ALL of v's outbound lanes
+//     drained: a nested set receives its delegations from the operations
+//     of ONE producing set (or from the program context) — the sharpened
+//     producer discipline below — so traffic that OTHER sets' operations
+//     pushed through v's lanes targets nested sets S never feeds. Its
+//     coverage is irrelevant to S's handover, and waiting on it is what
+//     opened the self-delegation livelock the ledger closes: a set
+//     force-evacuated off its own producer's delegate could be vetoed
+//     forever by unrelated streams (Config.LegacyOutboundVeto restores
+//     that veto as a negative control; the livelock regression stress
+//     proves the hang under it).
+//
+//     The ledger write is attribution by execution context: only v runs
+//     S's operations, only while one is executing, so outPos has a single
+//     writer at any time, and it is frozen whenever S is quiescent on v —
+//     every S operation has finished, and only S's producer (the context
+//     performing the migration check) can start another. The migration
+//     check therefore reads stable values: quiescence is checked first,
+//     and the laneExec publishes that proved it are the release/acquire
+//     edge that makes all prior outPos stores visible.
+//
+//     recRoute still double-checks the property per nested set: a
+//     delegation that changes a set's recorded producer must find the set
+//     quiescent, which Checked mode enforces with a panic. The ledger is
+//     a snapshot, so it sharpens the program-side discipline rather than
+//     replacing it: under stealing, a nested set must receive its
+//     delegations from the operations of ONE producing set (or from the
+//     program context) — not merely one context. Two parent sets on one
+//     delegate feeding the same nested set satisfies the static
+//     one-context rule, but migrating either parent would split the
+//     nested set's delegations across two contexts with no mutual order,
+//     which no ledger can prevent at migration time. recRoute's
+//     quiescence check is exactly the runtime test of this rule, and its
+//     panic names it.
+//
+//   - One placement is migrated regardless of load: a set owned by its own
+//     producer's delegate (a producer handover can create this) is
+//     force-evacuated, because every operation routed there would be a
+//     self-delegation the producer may block on. The evacuation needs the
+//     same quiescence + outbound-coverage conditions as an ordinary
+//     steal; when only coverage is missing — and the uncovered lanes
+//     target OTHER delegates, which drain independently — the producer
+//     waits for coverage on the spot (bounded, event-driven off the
+//     ledger: waitRecOutboundCoverage) instead of retrying on a future
+//     delegation that a blocking program may never issue.
 //
 // Placement seeds come from the static assignment table (the same route
 // non-stealing recursive mode uses), optionally overridden for the
@@ -108,6 +149,17 @@ type recSetEntry struct {
 	// owner's lane p) of the set's newest operation — the value the owner's
 	// laneExec[p] must reach before the set may move.
 	lastPos []atomic.Uint64
+	// outPos[d] is the per-set outbound ledger: the lane position
+	// (laneSent[d][owner] count) of the newest nested delegation THIS
+	// SET'S operations pushed into delegate d+1's lane `owner`. Written by
+	// the owner's drain goroutine while one of the set's operations
+	// executes (noteOutbound), read by the set's producer at migration
+	// checks, zeroed at migration (positions are relative to the old
+	// owner's lanes, and the coverage proof at the handoff boundary makes
+	// them moot — exactly the lastPos rebase argument). The set may leave
+	// its owner v only when every outPos[d] is covered by delegate d+1's
+	// laneExec[v].
+	outPos []atomic.Uint64
 }
 
 // recOwnerTable is the concurrent set->entry map behind the recursive
@@ -216,14 +268,25 @@ type recStealState struct {
 	// (producer p), padded so concurrent producers never share a line.
 	laneSent [][]recCounter
 	// migrations[p] counts whole-set handoffs producer p performed;
-	// aggregated into Stats.Steals and Stats.Handoffs.
-	migrations []recCounter
+	// aggregated into Stats.Steals and Stats.Handoffs. forcedEvacs,
+	// outVetoes and outStamps are its siblings for the per-set outbound
+	// ledger: forced evacuations off a set's own producer's delegate,
+	// migration attempts vetoed by missing outbound coverage, and ledger
+	// writes (outPos stores) — the last indexed by the RECORDING context,
+	// i.e. the delegate executing the producing set's operation.
+	migrations  []recCounter
+	forcedEvacs []recCounter
+	outVetoes   []recCounter
+	outStamps   []recCounter
 }
 
 func newRecStealState(delegates, producers int) *recStealState {
 	st := &recStealState{
-		laneSent:   make([][]recCounter, delegates),
-		migrations: make([]recCounter, producers),
+		laneSent:    make([][]recCounter, delegates),
+		migrations:  make([]recCounter, producers),
+		forcedEvacs: make([]recCounter, producers),
+		outVetoes:   make([]recCounter, producers),
+		outStamps:   make([]recCounter, producers),
 	}
 	for d := range st.laneSent {
 		st.laneSent[d] = make([]recCounter, producers)
@@ -233,7 +296,10 @@ func newRecStealState(delegates, producers int) *recStealState {
 }
 
 func newRecSetEntry(owner int, producers int) *recSetEntry {
-	e := &recSetEntry{lastPos: make([]atomic.Uint64, producers)}
+	e := &recSetEntry{
+		lastPos: make([]atomic.Uint64, producers),
+		outPos:  make([]atomic.Uint64, producers-1), // one slot per delegate
+	}
 	e.owner.Store(int32(owner))
 	e.producer.Store(-1)
 	return e
@@ -326,7 +392,7 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 				e.owner.Store(int32(producer%rt.cfg.Delegates + 1))
 			}
 		}
-		rt.maybeStealRec(producer, e)
+		rt.maybeStealRec(producer, set, e)
 	} else {
 		// First touch this epoch: seed from the static assignment table
 		// (hot sets were pre-placed by reseed before the epoch opened) and
@@ -344,31 +410,115 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 			}
 			e.producer.Store(int32(producer))
 		}
+		if int(e.owner.Load()) == producer && e.ops.Load() == 0 && rt.cfg.Delegates > 1 {
+			// The static table seeded the first touch onto the producer's
+			// own delegate (possible whenever the producing set was itself
+			// migrated there by an earlier steal): honoring it would make
+			// every operation of the set a self-delegation the producer may
+			// block waiting on — and since this is the set's FIRST
+			// delegation, maybeStealRec never ran and no later delegation
+			// is guaranteed to arrive and evacuate it. Nothing has been
+			// delegated yet, so re-home the empty entry next door (the same
+			// rule the hot-seed handover branch and the thief scan apply).
+			e.owner.Store(int32(producer%rt.cfg.Delegates + 1))
+		}
 	}
 	owner := int(e.owner.Load())
 	pos := &st.laneSent[owner-1][producer]
 	pos.add(1)
-	e.lastPos[producer].Store(pos.n.Load())
+	n := pos.n.Load()
+	e.lastPos[producer].Store(n)
 	e.ops.Add(1)
+	if producer != ProgramContext {
+		// A delegate-context delegation is issued by the operation that
+		// delegate is currently executing: charge the new lane position to
+		// that operation's set — the producing set — so the set carries a
+		// precise record of its own outbound traffic.
+		rt.noteOutbound(owners, producer, owner, n)
+	}
 	return owner
+}
+
+// noteOutbound records one nested delegation in the producing set's
+// outbound ledger: the operation currently executing on delegate context
+// `producer` (its set was stamped into prodSet by the drain loop) pushed a
+// message at lane position pos into delegate `target`'s lane `producer`.
+// The producing set's entry is resolved through a one-slot cache keyed on
+// (owner table, set): successive delegations from one operation — and from
+// runs of one set's operations — pay a three-field compare instead of a
+// table walk; the cache can never go stale across epochs because reseed
+// installs a fresh table and the pointer comparison misses. Program-like
+// producers (RunParallel pool tasks, stamped noSetID) and sets absent from
+// the table record nothing: their traffic belongs to no migratable set, so
+// no migration's safety depends on it. Steady-state cost: one plain-field
+// compare, two atomic stores, zero allocations.
+func (rt *Runtime) noteOutbound(owners *recOwnerTable, producer, target int, pos uint64) {
+	d := rt.rec.delegates[producer-1]
+	if d.prodSet == noSetID {
+		return
+	}
+	if d.prodEntry == nil || d.prodCachedSet != d.prodSet || d.prodTable != owners {
+		d.prodEntry = owners.lookup(d.prodSet)
+		d.prodCachedSet = d.prodSet
+		d.prodTable = owners
+	}
+	pe := d.prodEntry
+	if pe == nil {
+		return
+	}
+	pe.outPos[target-1].Store(pos)
+	rt.rec.steal.outStamps[producer].add(1)
+}
+
+// recOutboundCovered reports whether set e may hand its producer role away
+// from owner v: every lane position the set's own operations recorded in
+// the outbound ledger must be covered by the target delegate's executed
+// counter for v's lane. Callers check quiescence first — with the set
+// quiescent on v and its producer (the caller) not delegating, outPos is
+// frozen, so the read races nothing. Under Config.LegacyOutboundVeto the
+// check falls back to PR 4's strictly-stronger global condition (every
+// lane v feeds fully drained, any set's traffic), kept for debugging and
+// as the livelock stress's negative control.
+func (rt *Runtime) recOutboundCovered(e *recSetEntry, v int) bool {
+	rec := rt.rec
+	if rt.cfg.LegacyOutboundVeto {
+		st := rec.steal
+		for dx, d := range rec.delegates {
+			if st.laneSent[dx][v].n.Load() > d.laneExec[v].Load() {
+				return false
+			}
+		}
+		return true
+	}
+	for dx := range e.outPos {
+		if e.outPos[dx].Load() > rec.delegates[dx].laneExec[v].Load() {
+			return false
+		}
+	}
+	return true
 }
 
 // maybeStealRec is the recursive rebalancer, run by a set's producer on
 // every delegation to an already-owned set. The shape mirrors the flat
 // maybeSteal — loaded victim, quiescent set, idle-or-far-underloaded thief
-// — with the quiescence check widened to every producer lane. The common
-// case (owner below threshold) costs O(producers) counter loads and no
-// atomics beyond them; nothing on this path takes a lock.
+// — with the quiescence check widened to every producer lane and the
+// producer-handover safety checked against the set's own outbound ledger.
+// The common case (owner below threshold) costs O(producers) counter loads
+// and no atomics beyond them; nothing on this path takes a lock.
 //
 // One placement forces a migration regardless of load: the producer's own
 // delegate owning the set (a producer handover can create this — e.g. the
 // producing set migrated onto the delegate where this nested set lives).
 // Every operation routed there would be a self-delegation the producer may
-// block waiting on, so the set is evacuated to the least-occupied peer as
-// soon as the SAME safety conditions an ordinary steal needs hold —
-// quiescence and the victim's outbound lanes drained; until they do, the
-// evacuation is simply retried on the next delegation.
-func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
+// block waiting on, so the set is evacuated to the least-occupied peer
+// under the SAME safety conditions an ordinary steal needs — quiescence
+// and the set's own outbound traffic covered. When only coverage is
+// missing, the producer waits for it on the spot (event-driven off the
+// ledger, bounded — see waitRecOutboundCoverage) rather than retrying on a
+// later delegation: for a program about to block mid-operation on this
+// very set, this delegation is the last scheduling decision the engine
+// ever gets to make.
+func (rt *Runtime) maybeStealRec(producer int, set uint64, e *recSetEntry) {
 	rec := rt.rec
 	st := rec.steal
 	v := int(e.owner.Load())
@@ -390,17 +540,17 @@ func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
 	if !e.quiescentOn(vd) {
 		return // another producer's newest op on this set is queued or running
 	}
-	// Outbound-drain condition: every lane the victim feeds AS A PRODUCER
-	// must be fully drained. Operations the victim executed may themselves
-	// have delegated (nested sets whose producer the victim is); migrating
-	// this set moves those producing operations to the thief, and the only
-	// way the nested sets' per-lane order survives the producer handover is
-	// if everything the victim already pushed has executed first. Reading
-	// sent before executed keeps the check conservative against concurrent
-	// pushes.
-	for dx, d := range rec.delegates {
-		sent := st.laneSent[dx][v].n.Load()
-		if sent > d.laneExec[v].Load() {
+	// Outbound-coverage condition: every nested delegation THIS SET'S
+	// operations pushed through the victim's lanes must have executed.
+	// Migrating the set moves the producer role of its operations, and the
+	// only way its nested sets' per-lane order survives the handover is if
+	// everything the set already fed them has run first. Other sets'
+	// in-flight lanes are irrelevant (they feed other nested sets, by the
+	// one-producing-set discipline) and no longer block the migration —
+	// that over-wide veto was PR 4's livelock.
+	if !rt.recOutboundCovered(e, v) {
+		if !forced || !rt.waitRecOutboundCoverage(e, v) {
+			st.outVetoes[producer].add(1)
 			return
 		}
 	}
@@ -419,8 +569,19 @@ func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
 			thief, tOut = d.id, o
 		}
 	}
-	if thief == 0 || (!forced && tOut*4 > vOut) {
+	if thief == 0 || (!forced && tOut*rt.stealRatio() > vOut) {
 		return // no peer meaningfully less occupied than the victim
+	}
+	if rt.cfg.Checked && (!e.quiescentOn(vd) || !rt.recOutboundCovered(e, v)) {
+		// Debug cross-check of the third-generation protocol: the checks
+		// above just passed, the set's producer is us, and both conditions
+		// read monotone counters — re-reading them false here means the
+		// ledger itself was corrupted (a stamp from an operation that
+		// should not have been running, i.e. a producer-discipline
+		// violation the earlier snapshots missed).
+		panic(fmt.Sprintf(
+			"prometheus: serializer violation: set %d migrating off delegate %d while the per-set ledger shows uncovered traffic (an operation of the set, or a nested delegation it issued, is still in flight — under recursive stealing a set must receive delegations from one producing set per epoch)",
+			set, v))
 	}
 	// Quiescent multi-producer boundary reached: hand the whole set over.
 	// lastPos values are lane positions relative to ONE owner's counters,
@@ -439,10 +600,27 @@ func (rt *Runtime) maybeStealRec(producer int, e *recSetEntry) {
 			e.lastPos[q].Store(0)
 		}
 	}
+	// The outbound ledger rebases the same way: its positions are counts in
+	// lanes the OLD owner feeds, which the coverage check just proved
+	// drained; the set's future operations run on the thief and re-record
+	// against the thief's lanes, ordered behind this zeroing by the lane
+	// FIFO that carries them there.
+	for dx := range e.outPos {
+		e.outPos[dx].Store(0)
+	}
 	e.lastPos[producer].Store(st.laneSent[thief-1][producer].n.Load())
 	e.owner.Store(int32(thief))
 	e.stamp.Add(1)
 	st.migrations[producer].add(1)
+	if forced {
+		st.forcedEvacs[producer].add(1)
+	}
+	if ts := rt.traceSt; ts != nil {
+		// A steal is a scheduling decision, not a span: record it as an
+		// instant on the producer's (this goroutine's) buffer.
+		now := timeNow()
+		ts.record(producer, TraceSteal, set, now, now)
+	}
 }
 
 // reseed installs a fresh owner table for a new isolation epoch,
@@ -552,6 +730,29 @@ func (rt *Runtime) stealThreshold() int {
 		return int(rt.adaptiveThr.Load())
 	}
 	return rt.cfg.StealThreshold
+}
+
+// stealRatio returns the thief-eligibility ratio R for this delegation: a
+// steal fires only when the thief's occupancy times R is at most the
+// victim's. The imbalance EWMA drives it the same way it drives the
+// threshold — at balance (ratio ~1) it is exactly defaultStealRatio, the
+// fixed value PR 2–4 hard-coded, and observed skew relaxes it toward
+// minStealRatio so a moderately-loaded peer can still help a drowning
+// victim; the clamp ceiling bounds how sticky a transiently-low EWMA can
+// make ownership. An explicit WithStealThreshold pins both the threshold
+// and the ratio (AdaptiveSteal off).
+func (rt *Runtime) stealRatio() uint64 {
+	if !rt.cfg.AdaptiveSteal {
+		return defaultStealRatio
+	}
+	r := int64(defaultStealRatio*ewmaFP) / rt.imbalanceEWMA.Load()
+	if r < minStealRatio {
+		r = minStealRatio
+	}
+	if r > maxStealRatio {
+		r = maxStealRatio
+	}
+	return uint64(r)
 }
 
 // noteImbalance folds one max/min occupancy observation into the EWMA and

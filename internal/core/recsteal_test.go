@@ -388,6 +388,190 @@ func TestRecursiveStealingOrderStress(t *testing.T) {
 	}
 }
 
+// TestRecursivePreciseOutboundVeto pins the safety half of the per-set
+// outbound ledger: a set whose OWN operations delegated onward must not
+// migrate while that outbound traffic is uncovered — and must migrate as
+// soon as it is covered, regardless of the rest of the victim's lanes.
+// Delegates=3: set 1 -> delegate 2 (the producer op), sets 0/3 -> delegate
+// 1, sets 2/5 -> delegate 3.
+func TestRecursivePreciseOutboundVeto(t *testing.T) {
+	rt := newTestRuntime(t, recStealCfg(3, 1))
+	rt.BeginIsolation()
+
+	// Pin delegate 3 so set 0's nested delegation to set 5 stays queued.
+	release3 := startGated(rt, 2)
+
+	// Set 0's first op (produced from delegate 2) delegates to set 5 on
+	// the gated delegate 3 — set 0's own outbound traffic.
+	step1 := make(chan struct{})
+	rt.Delegate(1, func(ctx int) {
+		rt.DelegateFrom(ctx, 0, func(inner int) {
+			rt.DelegateFrom(inner, 5, func(int) {})
+		})
+		close(step1)
+	})
+	<-step1
+	waitLaneExec(t, rt, 1, 2, 1) // set 0's op itself has executed
+
+	e := rt.rec.steal.owners.Load().lookup(0)
+	if got := e.outPos[2].Load(); got != 1 {
+		t.Fatalf("set 0 outbound ledger position for delegate 3 = %d, want 1", got)
+	}
+
+	// Loaded victim, quiescent set — but set 0's outbound is uncovered:
+	// the migration must be vetoed.
+	release1 := startGated(rt, 3)
+	step2 := make(chan struct{})
+	var routed atomic.Int64
+	rt.Delegate(1, func(ctx int) {
+		routed.Store(int64(rt.DelegateFrom(ctx, 0, func(int) {})))
+		close(step2)
+	})
+	<-step2
+	if got := routed.Load(); got != 1 {
+		t.Fatalf("set 0 with uncovered outbound routed to %d, want vetoed on owner 1", got)
+	}
+	release1()
+	st := rt.Stats()
+	if st.Handoffs != 0 {
+		t.Fatalf("Handoffs = %d, want 0 (outbound uncovered)", st.Handoffs)
+	}
+	if st.OutboundVetoes == 0 {
+		t.Fatal("OutboundVetoes = 0 after a vetoed migration")
+	}
+	if st.OutboundTracked == 0 {
+		t.Fatal("OutboundTracked = 0 after ledger stamps")
+	}
+
+	// Cover the outbound traffic (unpin delegate 3, let set 5's op run),
+	// re-load the victim, and the same delegation must now migrate.
+	release3()
+	waitLaneExec(t, rt, 3, 1, 1) // set 5's op (lane: delegate 1 -> 3) executed
+	waitLaneExec(t, rt, 1, 2, 2) // set 0's second op executed
+	release1 = startGated(rt, 3)
+	step3 := make(chan struct{})
+	rt.Delegate(1, func(ctx int) {
+		routed.Store(int64(rt.DelegateFrom(ctx, 0, func(int) {})))
+		close(step3)
+	})
+	<-step3
+	release1()
+	rt.EndIsolation()
+	if got := routed.Load(); got == 1 {
+		t.Fatal("set 0 still vetoed after its outbound traffic was covered")
+	}
+	if got := e.outPos[2].Load(); got != 0 {
+		t.Fatalf("outbound ledger not rebased at migration: outPos[2] = %d, want 0", got)
+	}
+	if st := rt.Stats(); st.Handoffs != 1 {
+		t.Fatalf("Handoffs = %d, want 1", st.Handoffs)
+	}
+}
+
+// TestAdaptiveStealRatio: the thief-eligibility ratio tracks the imbalance
+// EWMA — defaultStealRatio at balance, relaxed to the floor under
+// sustained skew, clamped at the ceiling for transient sub-balance EWMA
+// values — and an explicit WithStealThreshold pins it.
+func TestAdaptiveStealRatio(t *testing.T) {
+	rt := newTestRuntime(t, Config{Delegates: 2, Policy: LeastLoaded, Stealing: true})
+	if got := rt.stealRatio(); got != defaultStealRatio {
+		t.Fatalf("ratio at balance = %d, want %d", got, defaultStealRatio)
+	}
+	for i := 0; i < 200; i++ {
+		rt.noteImbalance(256, 0)
+	}
+	if got := rt.stealRatio(); got != minStealRatio {
+		t.Fatalf("ratio under sustained skew = %d, want floor %d", got, minStealRatio)
+	}
+	rt.imbalanceEWMA.Store(1) // racy-lost-update floor: must clamp, not explode
+	if got := rt.stealRatio(); got != maxStealRatio {
+		t.Fatalf("ratio at EWMA floor = %d, want ceiling %d", got, maxStealRatio)
+	}
+	pinned := newTestRuntime(t, Config{Delegates: 2, Policy: LeastLoaded, Stealing: true, StealThreshold: 7})
+	pinned.noteImbalance(1000, 0)
+	if got := pinned.stealRatio(); got != defaultStealRatio {
+		t.Fatalf("explicit threshold did not pin the ratio: got %d, want %d", got, defaultStealRatio)
+	}
+}
+
+// TestAdaptiveThresholdResetsAtEpoch regresses the stale-sample bug: a
+// spun-down epoch's skew (sampled into the EWMA by delegates that have
+// since parked) must not leak into the next epoch's effective threshold or
+// ratio. BeginIsolation resets both to the configured base.
+func TestAdaptiveThresholdResetsAtEpoch(t *testing.T) {
+	rt := newTestRuntime(t, Config{Delegates: 2, Policy: LeastLoaded, Stealing: true})
+	base := rt.cfg.StealThreshold
+	for i := 0; i < 200; i++ {
+		rt.noteImbalance(256, 0)
+	}
+	if got := rt.stealThreshold(); got != MinStealThreshold {
+		t.Fatalf("threshold under sustained skew = %d, want clamp floor %d", got, MinStealThreshold)
+	}
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	if got := rt.stealThreshold(); got != base {
+		t.Fatalf("threshold after epoch reset = %d, want base %d", got, base)
+	}
+	if got := rt.imbalanceEWMA.Load(); got != ewmaFP {
+		t.Fatalf("imbalance EWMA after epoch reset = %d, want %d (balance)", got, ewmaFP)
+	}
+	if got := rt.stealRatio(); got != defaultStealRatio {
+		t.Fatalf("ratio after epoch reset = %d, want %d", got, defaultStealRatio)
+	}
+}
+
+// TestRecursiveFirstTouchOffOwnProducer: a set whose FIRST delegation
+// comes from a delegate context and whose static home is that same
+// delegate must be re-homed before the push — maybeStealRec never runs on
+// the first-touch path, so without the re-home the operation self-enqueues
+// and a producer blocking on it (as here) deadlocks with no later
+// delegation ever arriving to evacuate the set. Delegates=2: sets 100 and
+// 200 both have static home delegate 1.
+func TestRecursiveFirstTouchOffOwnProducer(t *testing.T) {
+	rt := newTestRuntime(t, recStealCfg(2, MaxStealThreshold))
+	rt.BeginIsolation()
+
+	var routed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		rt.Delegate(100, func(ctx int) { // runs on delegate 1
+			nestedRan := make(chan struct{})
+			routed.Store(int64(rt.DelegateFrom(ctx, 200, func(int) { close(nestedRan) })))
+			<-nestedRan // block mid-operation on the first-touch delegation
+		})
+		rt.EndIsolation()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first-touch delegation onto its producer's own delegate deadlocked")
+	}
+	if got := routed.Load(); got != 2 {
+		t.Fatalf("first-touch set routed to %d, want re-homed to delegate 2", got)
+	}
+	if got := recOwner(rt, 200); got != 2 {
+		t.Fatalf("owner table has set 200 on %d, want 2", got)
+	}
+}
+
+// TestRecursiveReservedSetIDChecked: Checked mode rejects the engine's
+// reserved pool-task sentinel id — a user set named ^uint64(0) would have
+// its nested delegations silently dropped from the outbound ledger.
+func TestRecursiveReservedSetIDChecked(t *testing.T) {
+	cfg := recStealCfg(2, MaxStealThreshold)
+	cfg.Checked = true
+	rt := newTestRuntime(t, cfg)
+	rt.BeginIsolation()
+	defer rt.EndIsolation()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Checked mode accepted the reserved set id ^uint64(0)")
+		}
+	}()
+	rt.Delegate(^uint64(0), func(int) {})
+}
+
 // TestRecursiveHandoverOffOwnProducer: a producer handover that lands on
 // the set's own delegate (e.g. the producing set migrated onto the delegate
 // where this nested set lives) must evacuate the set — even with history —

@@ -94,6 +94,21 @@ type recDelegate struct {
 	// into Stats by the program context.
 	drainBatches atomic.Uint64
 	drainedOps   atomic.Uint64
+
+	// Outbound-attribution state for the per-set handoff ledger
+	// (recsteal.go), maintained only under stealing and touched only by
+	// this delegate's goroutine — plain fields, no atomics. prodSet is the
+	// serialization set of the method invocation currently executing
+	// (noSetID for pool tasks): any nested delegation the invocation
+	// issues is that set's own outbound traffic, recorded against its
+	// entry by noteOutbound. prodCachedSet/prodEntry/prodTable are the
+	// one-slot entry cache keyed on (owner table, set) so runs of one
+	// set's operations resolve the entry once, and an epoch's table swap
+	// invalidates it by pointer.
+	prodSet       uint64
+	prodCachedSet uint64
+	prodEntry     *recSetEntry
+	prodTable     *recOwnerTable
 }
 
 // recCounter is a cache-line-padded single-writer counter: one per
@@ -225,6 +240,7 @@ func (rt *Runtime) initRecursive() {
 			id:      i + 1,
 			pending: make([]atomic.Uint64, words),
 			wake:    make(chan struct{}, 1),
+			prodSet: noSetID, // nothing executing yet: attribute to no set
 		}
 		if cfg.Stealing {
 			d.laneExec = make([]atomic.Uint64, nProducers)
@@ -282,6 +298,14 @@ func (d *recDelegate) anyPending() bool {
 // path is untouched. Callers have already dispatched on Sequential mode.
 func (rt *Runtime) recEnqueue(producer int, set uint64, inv Invocation) int {
 	rec := rt.rec
+	if rt.cfg.Checked && set == noSetID {
+		// The engine reserves this one id as the pool-task sentinel: a
+		// user set named by it would have its nested delegations dropped
+		// from the outbound ledger, silently voiding the migration safety
+		// check. Turn that into the diagnostic every other discipline
+		// violation gets.
+		panic("prometheus: serialization set id ^uint64(0) is reserved by the engine (recursive pool-task sentinel); use any other id")
+	}
 	if rec.producers != nil {
 		rec.producers.check(set, producer)
 	}
@@ -395,9 +419,20 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 			spin = 0
 			continue
 		}
+		if adaptive {
+			// Final sample at the park boundary: a parked delegate
+			// contributes nothing to the EWMA while it sleeps, so without
+			// this the pool-wide ratio freezes on whatever the spin-down
+			// loop last observed — a stale minimum that can hold the
+			// threshold away from where the remaining active delegates'
+			// real spread would put it. One fresh read of every occupancy
+			// with this delegate now at zero resets that sample before the
+			// EWMA goes quiet.
+			rt.sampleImbalanceRec()
+		}
 		<-d.wake
 		d.sleep.Store(recAwake)
-		spin = 0
+		spin, sampleTick = 0, 0
 	}
 }
 
@@ -432,6 +467,14 @@ func (d *recDelegate) drainLane(p int, lane *spsc.Lane[Invocation], buf []Invoca
 			inv := &buf[i]
 			switch inv.kind {
 			case kindMethod:
+				if le != nil {
+					// Stamp the producing set before running the operation:
+					// nested delegations it issues charge their lane
+					// positions to this set's outbound ledger
+					// (noteOutbound). One plain store; only this goroutine
+					// reads it back.
+					d.prodSet = inv.set
+				}
 				inv.invoke(d.id)
 				*executed++
 			case kindSync:

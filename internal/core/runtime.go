@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -294,6 +295,18 @@ func (rt *Runtime) BeginIsolation() {
 	if rt.traceSt != nil {
 		rt.epochStart = timeNow()
 	}
+	if rt.cfg.AdaptiveSteal {
+		// The imbalance EWMA and the threshold/ratio it derives are
+		// documented as IN-epoch adaptation, and the samples they were
+		// built from describe the closing epoch's placement — including
+		// delegates that have since drained and parked, whose stale
+		// minima would otherwise keep a spun-down pool's skew (or
+		// balance) alive into a workload that no longer has it. A new
+		// epoch starts from the configured base and re-learns its own
+		// spread within a few drain runs.
+		rt.imbalanceEWMA.Store(ewmaFP)
+		rt.adaptiveThr.Store(int64(rt.cfg.StealThreshold))
+	}
 	if rt.setOwner != nil && len(rt.setOwner) > 0 {
 		rt.seedHotSets() // new epoch, new partition (pre-placed hot sets)
 	}
@@ -398,7 +411,7 @@ func (rt *Runtime) assign(set uint64) (int, *setEntry) {
 	if rt.setOwner != nil && !rt.cfg.Sequential {
 		if e, ok := rt.setOwner[set]; ok {
 			if rt.cfg.Stealing {
-				rt.maybeSteal(e)
+				rt.maybeSteal(set, e)
 			}
 			return e.ctx, e
 		}
@@ -430,7 +443,7 @@ func (rt *Runtime) outstanding(ctx int) uint64 {
 //
 // The common case — owner below threshold — costs one atomic load and a
 // compare; the O(Delegates) occupancy scan runs only on a loaded owner.
-func (rt *Runtime) maybeSteal(e *setEntry) {
+func (rt *Runtime) maybeSteal(set uint64, e *setEntry) {
 	v := e.ctx
 	vOut := rt.outstanding(v)
 	if vOut < uint64(rt.stealThreshold()) {
@@ -448,11 +461,56 @@ func (rt *Runtime) maybeSteal(e *setEntry) {
 			thief, tOut = d.id, o
 		}
 	}
-	if thief == 0 || tOut*4 > vOut {
+	if thief == 0 || tOut*rt.stealRatio() > vOut {
 		return // no peer meaningfully less occupied than the victim
 	}
 	e.ctx = thief
 	rt.stats.Steals++
+	if ts := rt.traceSt; ts != nil {
+		now := timeNow()
+		ts.record(ProgramContext, TraceSteal, set, now, now)
+	}
+}
+
+// evacWaitSpins bounds the event-driven forced-evacuation wait: how many
+// Gosched-yielding re-checks of the per-set outbound ledger a producer
+// performs before falling back to retry-per-delegation. The bound exists
+// because the wait parks this delegate's drain loop: two delegates each
+// waiting on coverage only the other can publish would otherwise spin
+// forever — a hazard only a program already blocking mid-operation in two
+// places can construct, but one the engine must not convert from unlikely
+// to permanent.
+const evacWaitSpins = 4096
+
+// waitRecOutboundCoverage is the liveness half of the forced evacuation: a
+// set owned by its own producer's delegate must leave NOW — the delegation
+// being routed may be the one the producing operation blocks on, so there
+// may never be another retry. With the precise ledger the missing coverage
+// is a concrete, observable event: the target delegates executing the
+// set's recorded outbound positions, which they do independently of this
+// (stuck) context. Wait for it, event-driven off the ledger, instead of
+// returning and hoping for another delegation.
+//
+// Two cases cannot be waited out and return false immediately: traffic the
+// set recorded into the victim's OWN lane (only v drains it, and v is the
+// context running this wait), and legacy-veto mode (the global condition
+// carries no per-set signal — any stream through the victim keeps it
+// false, which is exactly the livelock the ledger exists to close).
+func (rt *Runtime) waitRecOutboundCoverage(e *recSetEntry, v int) bool {
+	if rt.cfg.LegacyOutboundVeto {
+		return false
+	}
+	rec := rt.rec
+	if e.outPos[v-1].Load() > rec.delegates[v-1].laneExec[v].Load() {
+		return false // self-lane traffic: waiting would deadlock v on itself
+	}
+	for spin := 0; spin < evacWaitSpins; spin++ {
+		if rt.recOutboundCovered(e, v) {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
 }
 
 // notePosition records the just-enqueued operation's position against its
@@ -727,7 +785,11 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 		for i, t := range tasks {
 			d := rt.rec.delegates[i%len(rt.rec.delegates)]
 			rt.rec.enq[ProgramContext].add(1)
-			rt.recSend(d, Invocation{kind: kindMethod, fn: t})
+			// noSetID: a pool task belongs to no serialization set, so
+			// nested delegations it issues must not be charged to whatever
+			// set the delegate executed last (outbound attribution,
+			// recsteal.go).
+			rt.recSend(d, Invocation{kind: kindMethod, set: noSetID, fn: t})
 		}
 		rt.recBarrier()
 		return
@@ -774,6 +836,9 @@ func (rt *Runtime) Stats() Stats {
 				n := steal.migrations[i].n.Load()
 				st.Steals += n
 				st.Handoffs += n
+				st.ForcedEvacs += steal.forcedEvacs[i].n.Load()
+				st.OutboundVetoes += steal.outVetoes[i].n.Load()
+				st.OutboundTracked += steal.outStamps[i].n.Load()
 			}
 		}
 	}

@@ -41,6 +41,7 @@ type Stats struct {
 	BatchedOps   uint64 // delegations delivered through the batch buffer
 	Steals       uint64 // serialization sets handed off by the occupancy-aware rebalancer (flat and recursive)
 	Handoffs     uint64 // recursive-mode whole-set handoffs (the multi-producer quiescent protocol; a subset of Steals)
+	ForcedEvacs  uint64 // recursive handoffs forced off a set's own producer's delegate (self-delegation hazard; a subset of Handoffs)
 	DrainBatches uint64 // delegate-side batched drains (PopBatch runs executed)
 	DrainedOps   uint64 // invocations delivered through batched drains
 	RecursiveOps uint64 // invocations enqueued through recursive lanes (all producers)
@@ -48,6 +49,15 @@ type Stats struct {
 
 	ThresholdAdjusts uint64 // in-epoch adaptive StealThreshold changes (imbalance-EWMA driven)
 	HotSetsPlaced    uint64 // hot sets pre-placed round-robin at BeginIsolation from prior-epoch op counts
+
+	// Per-set outbound-ledger counters (recursive stealing). OutboundVetoes
+	// counts migration attempts blocked because the candidate set's own
+	// recorded outbound traffic was not yet covered by the target lanes'
+	// executed counters; OutboundTracked counts ledger writes (one per
+	// nested delegation issued by a set's operation under stealing) — the
+	// ledger's write volume, for sizing its hot-path cost.
+	OutboundVetoes  uint64
+	OutboundTracked uint64
 
 	Aggregation time.Duration
 	Isolation   time.Duration

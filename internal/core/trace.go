@@ -16,6 +16,7 @@ const (
 	TraceExec  TraceKind = iota // a delegated operation ran on Ctx
 	TraceSync                   // a synchronization object was served
 	TraceEpoch                  // isolation epoch [Start, End) on the program context
+	TraceSteal                  // Set was handed off by the rebalancer; Ctx is the producer that migrated it
 )
 
 func (k TraceKind) String() string {
@@ -26,6 +27,8 @@ func (k TraceKind) String() string {
 		return "sync"
 	case TraceEpoch:
 		return "epoch"
+	case TraceSteal:
+		return "steal"
 	default:
 		return "?"
 	}

@@ -286,8 +286,13 @@ func Ablation(w io.Writer, opts Options) error {
 	}
 
 	fmt.Fprintf(w, "\nA6. recursive whole-set stealing (quiescent multi-producer handoff)\n")
-	fmt.Fprintf(w, "%-14s %10s %10s %9s %9s %8s %10s %8s\n",
-		"workload", "static ms", "steal ms", "delta", "handoffs", "thradj", "hotplaced", "spills")
+	// handoffs splits into occupancy-driven steals (handoffs - forcedevac)
+	// and forced evacuations off a set's own producer's delegate; outveto
+	// counts migration attempts blocked by the per-set outbound ledger and
+	// outstamp its write volume — together they attribute the skewed win
+	// between the two migration kinds and price the ledger.
+	fmt.Fprintf(w, "%-14s %10s %10s %9s %9s %9s %8s %9s %8s %10s %8s\n",
+		"workload", "static ms", "steal ms", "delta", "handoffs", "forcedev", "outveto", "outstamp", "thradj", "hotplaced", "spills")
 	{
 		static := TimeBest(opts.Reps, func() { recursiveSkewed() })
 		var st prometheus.Stats
@@ -295,9 +300,10 @@ func Ablation(w io.Writer, opts Options) error {
 			st = recursiveSkewed(opts.stealOpts()...)
 		})
 		delta := 100 * (steal.Seconds() - static.Seconds()) / static.Seconds()
-		fmt.Fprintf(w, "%-14s %10.2f %10.2f %8.1f%% %9d %8d %10d %8d\n",
+		fmt.Fprintf(w, "%-14s %10.2f %10.2f %8.1f%% %9d %9d %8d %9d %8d %10d %8d\n",
 			"rec-skewed", 1e3*static.Seconds(), 1e3*steal.Seconds(), delta,
-			st.Handoffs, st.ThresholdAdjusts, st.HotSetsPlaced, st.Spills)
+			st.Handoffs, st.ForcedEvacs, st.OutboundVetoes, st.OutboundTracked,
+			st.ThresholdAdjusts, st.HotSetsPlaced, st.Spills)
 	}
 	return nil
 }

@@ -113,12 +113,14 @@ func WithPolicy(p SchedPolicy) Option { return func(c *core.Config) { c.Policy =
 // In recursive mode (Recursive + WithPolicy(LeastLoaded)) the same
 // contract holds across many producer contexts: a set migrates only when
 // every producer's newest operation on it has executed on the owner AND
-// everything the owner itself has delegated onward has drained (the
-// multi-producer quiescent handoff; see doc.go). Placement seeds from the
-// static assignment table, the previous epoch's hottest sets are
-// pre-placed round-robin at BeginIsolation, and the steal threshold
-// adapts within the epoch to the observed delegate-occupancy imbalance
-// unless pinned with WithStealThreshold.
+// every nested delegation the set's own operations issued has drained —
+// tracked precisely per set by an outbound ledger, so other sets'
+// in-flight traffic never blocks a migration (the multi-producer
+// quiescent handoff; see doc.go). Placement seeds from the static
+// assignment table, the previous epoch's hottest sets are pre-placed
+// round-robin at BeginIsolation, and the steal threshold and
+// thief-eligibility ratio adapt within each epoch to the observed
+// delegate-occupancy imbalance unless pinned with WithStealThreshold.
 func WithStealing() Option { return func(c *core.Config) { c.Stealing = true } }
 
 // WithStealThreshold pins the victim backlog (outstanding operations) at
@@ -127,9 +129,12 @@ func WithStealing() Option { return func(c *core.Config) { c.Stealing = true } }
 // core.MaxStealThreshold]) and then adapts within each epoch: delegates
 // feed the max/min occupancy ratio they observe at drain-run boundaries
 // into an EWMA, and a skewed epoch pulls the effective threshold toward
-// the clamp floor while a balanced one keeps ownership sticky. Lower
-// explicit values rebalance skew sooner; higher ones keep ownership
-// stickier under transient pipelining. Ignored without WithStealing.
+// the clamp floor — and relaxes the thief-eligibility ratio (4x at
+// balance, clamped [2,8]) — while a balanced one keeps ownership sticky;
+// both reset to their base at every BeginIsolation. An explicit threshold
+// pins the threshold AND the ratio for the run. Lower explicit values
+// rebalance skew sooner; higher ones keep ownership stickier under
+// transient pipelining. Ignored without WithStealing.
 func WithStealThreshold(n int) Option { return func(c *core.Config) { c.StealThreshold = n } }
 
 // Sequential builds the runtime in the paper's debug mode (§3.3): all
@@ -220,6 +225,7 @@ const (
 	TraceExec  = core.TraceExec
 	TraceSync  = core.TraceSync
 	TraceEpoch = core.TraceEpoch
+	TraceSteal = core.TraceSteal
 )
 
 // TraceEvents returns the merged trace (nil unless WithTrace was given).

@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	prometheus "repro"
+	"repro/internal/core"
 )
 
 const allocWarmup = 5000
@@ -245,5 +246,46 @@ func TestSequentialInlineZeroAlloc(t *testing.T) {
 	defer rt.EndIsolation()
 	requireZeroAllocs(t, "Sequential Writable.Delegate", func() {
 		w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+	})
+}
+
+func TestFaultContainmentZeroAlloc(t *testing.T) {
+	// Fault containment is compiled in unconditionally, so the fault-free
+	// delegation path must stay allocation-free with it armed: the producer
+	// pays one atomic nil-load of the fault state, the drain loops one per
+	// execution span, and the recover() frame lives on the goroutine stack.
+	// A never-firing injector is installed so the injection seam itself is
+	// on the measured path too — this is the gate that keeps containment
+	// free until a fault actually happens (poison state is lazily
+	// allocated).
+	neverFire := func(c *core.Config) {
+		c.FaultInjector = func(ctx int, set uint64) {}
+	}
+	t.Run("flat", func(t *testing.T) {
+		rt := prometheus.Init(prometheus.WithDelegates(2), prometheus.Option(neverFire))
+		defer rt.Terminate()
+		w := prometheus.NewWritable(rt, 0)
+		rt.BeginIsolation()
+		defer rt.EndIsolation()
+		for i := 0; i < allocWarmup; i++ {
+			w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+		}
+		requireZeroAllocs(t, "Writable.Delegate with injector armed", func() {
+			w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+		})
+	})
+	t.Run("recursive", func(t *testing.T) {
+		rt := prometheus.Init(prometheus.WithDelegates(2), prometheus.Recursive(),
+			prometheus.Option(neverFire))
+		defer rt.Terminate()
+		w := prometheus.NewWritable(rt, 0)
+		rt.BeginIsolation()
+		defer rt.EndIsolation()
+		for i := 0; i < allocWarmup; i++ {
+			w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+		}
+		requireZeroAllocs(t, "Recursive Writable.Delegate with injector armed", func() {
+			w.Delegate(func(c *prometheus.Ctx, p *int) { *p++ })
+		})
 	})
 }

@@ -276,4 +276,57 @@
 // measure these paths; Runtime.Stats reports delegation, batching,
 // stealing, handoff, drain, recursive, spill, and per-phase time
 // counters.
+//
+// # Fault containment
+//
+// A panic in a delegated operation does not kill the process and does not
+// wedge a barrier. Both engines run invocations inside recover()-protected
+// execution spans; a recovered panic is recorded (value plus the stack of
+// the original failure site) and the faulted operation is counted as
+// executed, so every ledger the scheduling protocols rest on — flat
+// occupancy, recursive per-lane coverage, barrier quiescence sums, the
+// whole-set handoff proofs of the two stealing sections above — keeps
+// advancing and the delegate goroutine stays alive.
+//
+// Determinism is preserved by set poisoning. The faulting operation's
+// serialization set is poisoned for the remainder of the isolation epoch:
+// every subsequent delegation to it is dropped-but-counted, so the set
+// executes exactly its program-order prefix up to the faulting operation
+// and nothing after — the same prefix on every run, because per-set
+// program order is the model's invariant. Poisoned sets are never stolen,
+// force-evacuated, or hot-seeded into the next epoch; the poison is
+// written before the faulted operation's counters are published, so any
+// context that proves the set quiescent has already observed it. Dropped
+// operations never run at all — a fault mid-set also deterministically
+// truncates the nested delegations its dropped successors would have
+// issued. Poisoning clears at the next BeginIsolation; fault records
+// persist for the runtime's lifetime.
+//
+// Faults surface as values, not crashes: Runtime.Err aggregates every
+// contained panic into one error (ErrPanic-kind *Error values wrapping
+// *PanicError, which carries the set, context, epoch, recovered value,
+// and original stack), Runtime.SetErr and the wrappers' Err methods
+// scope the report to one set, and Runtime.Poisoned answers for the
+// current epoch. Checked mode fails fast instead: a delegation to a
+// poisoned set panics at the delegation site with the original stack.
+// Stats reports Panics, PoisonedSets, and DroppedOps; tracing emits a
+// TracePanic event per contained fault.
+//
+// One discipline falls on user code: an operation that spin-waits on the
+// side effects of operations in OTHER sets can hang if those operations
+// are dropped by poisoning — synchronize through the runtime (epoch
+// barriers, SyncSet), which containment guarantees still close, rather
+// than through ad-hoc waits on delegated effects. The barrier watchdog
+// (Config.Watchdog; on by default under Checked) turns any such hang —
+// or an engine liveness bug — into a panic with a dump of per-delegate
+// queue depths and ledger positions after a configurable no-progress
+// bound. The chaos-injection harness (internal/chaos) drives all of this
+// under test: deterministic and seeded-probabilistic panics injected
+// across every engine mode, asserting survival, byte-identical poisoning
+// points, and untouched sibling sets.
+//
+// The fault-free cost is one nil pointer load on the delegation path and
+// one per drain run — all poison state is allocated lazily on the first
+// contained panic, and the alloc gates pin the armed hot path at 0
+// allocs/op.
 package prometheus

@@ -1,0 +1,116 @@
+package prometheus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func TestErrorKindString(t *testing.T) {
+	for _, tc := range []struct {
+		kind ErrorKind
+		want string
+	}{
+		{ErrSerializerViolation, "serializer violation"},
+		{ErrPartitionViolation, "partition violation"},
+		{ErrAPIMisuse, "api misuse"},
+		{ErrPanic, "panic"},
+		{ErrorKind(99), "unknown"},
+		{ErrorKind(-1), "unknown"},
+	} {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("ErrorKind(%d).String() = %q, want %q", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	for _, tc := range []struct {
+		err  *Error
+		want string
+	}{
+		{&Error{Kind: ErrAPIMisuse, Msg: "Delegate outside an isolation epoch"},
+			"prometheus: api misuse: Delegate outside an isolation epoch"},
+		{&Error{Kind: ErrSerializerViolation, Msg: "writable #3 mapped to set 2, previously set 1, in one epoch"},
+			"prometheus: serializer violation: writable #3 mapped to set 2, previously set 1, in one epoch"},
+		{&Error{Kind: ErrPanic, Msg: "operation of set 7 panicked"},
+			"prometheus: panic: operation of set 7 panicked"},
+	} {
+		if got := tc.err.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestRaisePanicsWithError(t *testing.T) {
+	defer func() {
+		v := recover()
+		e, ok := v.(*Error)
+		if !ok {
+			t.Fatalf("raise panicked with %T, want *Error", v)
+		}
+		if e.Kind != ErrPartitionViolation {
+			t.Errorf("Kind = %v, want ErrPartitionViolation", e.Kind)
+		}
+		if e.Msg != "object #42 misused" {
+			t.Errorf("Msg = %q, want formatted message", e.Msg)
+		}
+		if e.Err != nil {
+			t.Errorf("raise produced a wrapped cause %v, want nil", e.Err)
+		}
+	}()
+	raise(ErrPartitionViolation, "object #%d misused", 42)
+}
+
+func TestPanicErrorFormatting(t *testing.T) {
+	pe := &PanicError{Set: 9, Ctx: 2, Epoch: 4, Value: "boom"}
+	want := "operation of set 9 panicked on context 2 in epoch 4: boom"
+	if got := pe.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	pool := &PanicError{Set: NoSet, Ctx: 1, Epoch: 2, Value: "boom"}
+	if got := pool.Error(); !strings.HasPrefix(got, "pool task panicked") {
+		t.Errorf("pool-task Error() = %q, want pool-task form", got)
+	}
+}
+
+func TestPanicErrorUnwrapping(t *testing.T) {
+	// Panic value that is an error: the chain reaches the original cause.
+	cause := chaos.Fault{Set: 5, N: 3}
+	pe := &PanicError{Set: 5, Ctx: 1, Epoch: 1, Value: cause}
+	wrapped := &Error{Kind: ErrPanic, Msg: pe.Error(), Err: pe}
+
+	if !errors.Is(wrapped, chaos.Fault{Set: 5, N: 3}) {
+		t.Error("errors.Is did not reach the injected Fault through Error -> PanicError")
+	}
+	var gotPE *PanicError
+	if !errors.As(wrapped, &gotPE) || gotPE.Set != 5 {
+		t.Error("errors.As did not extract the *PanicError")
+	}
+	var gotErr *Error
+	if !errors.As(wrapped, &gotErr) || gotErr.Kind != ErrPanic {
+		t.Error("errors.As did not extract the *Error")
+	}
+	var gotFault chaos.Fault
+	if !errors.As(wrapped, &gotFault) || gotFault.N != 3 {
+		t.Error("errors.As did not extract the chaos.Fault cause")
+	}
+
+	// Panic value that is not an error: the chain ends at the PanicError.
+	if (&PanicError{Value: "just a string"}).Unwrap() != nil {
+		t.Error("Unwrap of a non-error panic value should be nil")
+	}
+
+	// A joined multi-error keeps every member reachable.
+	other := &PanicError{Set: 6, Ctx: 1, Epoch: 1, Value: fmt.Errorf("other")}
+	joined := errors.Join(wrapped, &Error{Kind: ErrPanic, Msg: other.Error(), Err: other})
+	if !errors.Is(joined, cause) {
+		t.Error("joined error lost the first fault's cause")
+	}
+	if !strings.Contains(joined.Error(), "set 6") {
+		t.Error("joined error lost the second fault's message")
+	}
+}

@@ -1,0 +1,134 @@
+// Package chaos is the fault-injection harness behind the containment
+// tests. An Injector produces a hook the core runtime invokes on the
+// executing delegate immediately before every delegated method runs
+// (Config.FaultInjector); when the injector's trigger condition holds, the
+// hook panics with a Fault value, exercising the recover/poison/report
+// machinery exactly where a user operation would have faulted.
+//
+// Two triggers are provided. PanicAt fires at the Nth operation of one
+// chosen set and is fully deterministic: because the serialization-set
+// invariant runs a set's operations one at a time in delegation order, the
+// per-set counter the injector keeps observes the same sequence on every
+// run regardless of scheduling, stealing, or engine mode — which is what
+// lets the chaos tests demand byte-identical poisoning points across runs.
+// Seeded fires pseudo-randomly from a seed and a per-(set, position) mix,
+// for survival stress where the interesting property is "the process never
+// dies or wedges", not "the same op faults every time". Note Seeded is
+// deterministic per (set, position) too — the mix has no global state — so
+// repeated runs of the same workload inject the same faults even though
+// the faults look scattered.
+//
+// The injector fires before the user method is invoked, so a faulted
+// operation contributes none of its side effects: the surviving prefix of
+// a poisoned set's log is exactly operations 1..N-1, with nothing partial
+// from operation N.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fault is the value injected panics carry. It is a comparable error, so
+// tests can assert errors.Is(err, chaos.Fault{Set: s, N: n}) against the
+// runtime's reported fault chain.
+type Fault struct {
+	// Set is the serialization set whose operation was made to panic.
+	Set uint64
+	// N is the 1-based position of the faulted operation within its set's
+	// delegation order.
+	N uint64
+}
+
+func (f Fault) Error() string {
+	return fmt.Sprintf("chaos: injected panic at op %d of set %d", f.N, f.Set)
+}
+
+// Injector counts operations per set and panics when its trigger decides
+// an operation should fault. Safe for concurrent use by every delegate.
+type Injector struct {
+	mu     sync.Mutex
+	counts map[uint64]uint64
+	fired  uint64
+	// trigger reports whether the nth (1-based) operation of set should
+	// fault. Called under mu.
+	trigger func(set, n uint64) bool
+}
+
+// PanicAt returns an injector that panics at the nth (1-based) operation
+// delegated to set, once. Every other operation passes through untouched.
+func PanicAt(set, n uint64) *Injector {
+	return &Injector{
+		counts: make(map[uint64]uint64),
+		trigger: func(s, k uint64) bool {
+			return s == set && k == n
+		},
+	}
+}
+
+// Seeded returns an injector that panics on roughly fraction p of
+// operations, chosen by mixing seed with the operation's (set, position)
+// coordinate. Deterministic for a fixed seed and workload; different seeds
+// scatter the faults differently.
+func Seeded(seed uint64, p float64) *Injector {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Threshold in 63-bit space: uint64(p * 2^64) overflows for p near 1,
+	// so compare the top 63 bits of the mix against p scaled by 2^63.
+	thr := uint64(p * float64(1<<63))
+	return &Injector{
+		counts: make(map[uint64]uint64),
+		trigger: func(s, k uint64) bool {
+			return (mix(seed, s, k) >> 1) < thr
+		},
+	}
+}
+
+// Hook returns the function to install as Config.FaultInjector. The hook
+// panics with a Fault value when the trigger fires.
+func (in *Injector) Hook() func(ctx int, set uint64) {
+	return func(ctx int, set uint64) {
+		in.mu.Lock()
+		in.counts[set]++
+		n := in.counts[set]
+		fire := in.trigger(set, n)
+		if fire {
+			in.fired++
+		}
+		in.mu.Unlock()
+		if fire {
+			panic(Fault{Set: set, N: n})
+		}
+	}
+}
+
+// Fired reports how many panics the injector has raised.
+func (in *Injector) Fired() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Reset clears the per-set counters (the fired total is kept), so one
+// injector can be reused across isolation epochs with per-epoch positions.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	clear(in.counts)
+	in.mu.Unlock()
+}
+
+// mix is splitmix64-style avalanching over the (seed, set, position)
+// coordinate.
+func mix(seed, set, n uint64) uint64 {
+	x := seed ^ set*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPanicAtFiresExactlyOnce(t *testing.T) {
+	in := PanicAt(7, 3)
+	hook := in.Hook()
+	var got []uint64
+	for k := 1; k <= 5; k++ {
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					f, ok := v.(Fault)
+					if !ok {
+						t.Fatalf("recovered %T, want Fault", v)
+					}
+					got = append(got, f.N)
+				}
+			}()
+			hook(1, 7)
+		}()
+		hook(1, 9) // other sets never fire
+	}
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("fired at positions %v, want [3]", got)
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", in.Fired())
+	}
+}
+
+func TestFaultIsComparableError(t *testing.T) {
+	var err error = Fault{Set: 5, N: 2}
+	if !errors.Is(err, Fault{Set: 5, N: 2}) {
+		t.Fatal("errors.Is failed on identical Fault")
+	}
+	if errors.Is(err, Fault{Set: 5, N: 3}) {
+		t.Fatal("errors.Is matched a different Fault")
+	}
+	want := "chaos: injected panic at op 2 of set 5"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestSeededDeterministicAndBounded(t *testing.T) {
+	run := func() []uint64 {
+		in := Seeded(42, 0.25)
+		hook := in.Hook()
+		var fired []uint64
+		for n := uint64(1); n <= 400; n++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						fired = append(fired, n)
+					}
+				}()
+				hook(1, n%8)
+			}()
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// p=0.25 over 400 ops: expect ~100; anything in (20, 250) rules out a
+	// broken threshold without being flaky.
+	if len(a) < 20 || len(a) > 250 {
+		t.Fatalf("seeded p=0.25 fired %d/400 times", len(a))
+	}
+	// Degenerate probabilities must not overflow or misbehave.
+	if f := Seeded(1, 0); f == nil {
+		t.Fatal("Seeded(1, 0) nil")
+	}
+	in := Seeded(9, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Seeded(_, 1) did not fire")
+			}
+		}()
+		in.Hook()(1, 3)
+	}()
+}
+
+func TestResetClearsPositions(t *testing.T) {
+	in := PanicAt(1, 2)
+	hook := in.Hook()
+	hook(0, 1) // position 1: no fire
+	in.Reset()
+	hook(0, 1) // position 1 again after reset: still no fire
+	fired := false
+	func() {
+		defer func() { fired = recover() != nil }()
+		hook(0, 1) // position 2 after reset: fires
+	}()
+	if !fired {
+		t.Fatal("reset did not restart per-set position counting")
+	}
+}

@@ -2,9 +2,16 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/spsc"
 )
+
+// DefaultWatchdog is the no-progress bound the barrier watchdog uses when
+// Checked mode is on and Config.Watchdog was left zero. Generous on
+// purpose: the watchdog exists to turn a wedged barrier from a silent hang
+// (or a CI timeout) into a state dump, not to police slow operations.
+const DefaultWatchdog = 30 * time.Second
 
 // DefaultDelegateBatch is the default size of the program context's
 // delegation buffer. Small on purpose: the buffer amortizes the wake-signal
@@ -185,6 +192,28 @@ type Config struct {
 	// through their execution context. Requires StaticMod and a zero
 	// ProgramShare; see internal/core/recursive.go for the semantics.
 	Recursive bool
+
+	// FaultInjector, when non-nil, is invoked on the executing delegate
+	// immediately before each delegated method invocation runs, with the
+	// executing context id and the operation's serialization set (NoSet for
+	// pool tasks). A panic thrown by the hook is contained exactly like a
+	// panic in the operation itself — the seam the chaos-injection harness
+	// (internal/chaos) drives. Internal testing knob, deliberately not
+	// exposed as a public Option; a nil hook costs the drain loops one
+	// hoisted nil check.
+	FaultInjector func(ctx int, set uint64)
+
+	// Watchdog bounds how long a blocking synchronization (SyncContext,
+	// barrier/EndIsolation, Terminate) will wait while no delegate
+	// publishes any progress before panicking with a dump of per-delegate
+	// queue depths and ledger positions — turning a wedged barrier into an
+	// actionable report instead of a silent hang. Progress is measured by
+	// the published executed/drain counters, so a single legitimate
+	// operation that runs longer than the bound is indistinguishable from a
+	// wedge: size it above the longest operation the program runs. Zero
+	// selects the default (DefaultWatchdog when Checked is on, disabled
+	// otherwise); negative disables it explicitly.
+	Watchdog time.Duration
 }
 
 // withDefaults returns a copy of c with unset fields filled in.
@@ -222,6 +251,12 @@ func (c Config) withDefaults() Config {
 			c.StealThreshold = MaxStealThreshold
 		}
 		c.AdaptiveSteal = true
+	}
+	if c.Watchdog == 0 && c.Checked {
+		c.Watchdog = DefaultWatchdog
+	}
+	if c.Watchdog < 0 {
+		c.Watchdog = 0 // explicit off
 	}
 	return c
 }

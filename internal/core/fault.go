@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Fault containment. A panicking delegated operation must not kill the
+// process (the serving-tier north star: one bad request cannot take the
+// runtime down) and must not wedge a barrier (quiescence is proved by
+// executed counters only the faulting delegate publishes). Both engines
+// therefore run invocations inside recover()-protected execution spans
+// (execSpan / recExecSpan): a recovered panic is recorded here, the faulted
+// operation is COUNTED AS EXECUTED so every ledger the scheduling protocols
+// rest on — flat occupancy, recursive laneExec coverage, barrier sums —
+// keeps advancing, and the delegate goroutine stays alive.
+//
+// Determinism is preserved by set poisoning: the faulting operation's
+// serialization set is poisoned for the remainder of the isolation epoch,
+// and every subsequent delegation to it is dropped-but-counted. Per-set
+// program order makes the outcome deterministic — the set executes exactly
+// its prefix up to the faulting position, and everything after is skipped.
+// The skip is enforced twice: at delegation time by the producer (the
+// cheap, common case) and at drain time by the owner (which closes the
+// producer-visibility race: the owner wrote the poison itself, and a
+// poisoned set is never stolen — see maybeSteal / maybeStealRec — so its
+// backlog always drains on the context that can see the poison).
+//
+// All fault state is lazily allocated: a fault-free runtime carries one nil
+// atomic pointer, the delegation hot path pays one atomic load, and the
+// drain loops pay one load per drain run — nothing else, which is what
+// keeps the 0 allocs/op gates and the PR1/PR3/PR4 benchmark baselines
+// intact with containment compiled in unconditionally.
+
+// NoSet is the serialization-set id reported for faults in operations that
+// belong to no set — RunParallel pool tasks. It aliases the engine's
+// reserved pool-task sentinel; user delegations may not use it (Checked
+// mode rejects it), so a PanicFault carrying it is unambiguous.
+const NoSet = noSetID
+
+// PanicFault describes one contained panic: which set's operation faulted
+// (NoSet for pool tasks), on which delegate context, in which isolation
+// epoch, with the recovered value and the stack captured during unwinding
+// (it includes the panicking frames — the original failure site).
+type PanicFault struct {
+	Set   uint64
+	Ctx   int
+	Epoch uint64
+	Value any
+	Stack []byte
+}
+
+// faultState is the runtime's containment record, allocated on the first
+// contained panic (Runtime.faults stays nil on the fault-free path).
+type faultState struct {
+	// mu serializes writers (faulting delegates append records and replace
+	// the poison map); readers never take it on the delegation path.
+	mu sync.Mutex
+	// poisoned is the current epoch's poisoned-set table, copy-on-write
+	// behind an atomic pointer so producers and drain loops read it with one
+	// load and no lock. Values point at the fault that poisoned the set.
+	// BeginIsolation clears it — poisoning is epoch-scoped; records are not.
+	poisoned atomic.Pointer[map[uint64]*PanicFault]
+	// records accumulates every contained panic for the runtime's lifetime,
+	// in containment order (concurrent faults on different delegates append
+	// in arrival order).
+	records []*PanicFault
+
+	panics       atomic.Uint64 // contained panics (Stats.Panics)
+	poisonedSets atomic.Uint64 // sets ever poisoned (Stats.PoisonedSets)
+	dropped      atomic.Uint64 // delegations dropped on poisoned sets (Stats.DroppedOps)
+}
+
+// lookup returns the fault that poisoned set this epoch, or nil. Lock-free;
+// the delegation and drain hot paths call it only after observing a non-nil
+// faultState.
+func (fs *faultState) lookup(set uint64) *PanicFault {
+	m := fs.poisoned.Load()
+	if m == nil {
+		return nil
+	}
+	return (*m)[set]
+}
+
+// resetPoison clears the poisoned-set table at an epoch boundary (program
+// context, all delegates quiescent behind the EndIsolation barrier).
+func (fs *faultState) resetPoison() {
+	fs.mu.Lock()
+	fs.poisoned.Store(nil)
+	fs.mu.Unlock()
+}
+
+// ensureFaults returns the containment record, allocating it on first use.
+func (rt *Runtime) ensureFaults() *faultState {
+	if fs := rt.faults.Load(); fs != nil {
+		return fs
+	}
+	fs := &faultState{}
+	if rt.faults.CompareAndSwap(nil, fs) {
+		return fs
+	}
+	return rt.faults.Load()
+}
+
+// recordPanic is the containment point both engines' recover handlers call:
+// capture the stack (still inside the unwinding deferred call, so the
+// panicking frames are on it), append the fault record, poison the set, and
+// emit the trace event. The caller publishes its executed counters AFTER
+// this returns — that ordering is what makes poisoning deterministic for
+// everyone else: any context that later proves the faulted operation
+// executed (quiescence checks, steal coverage proofs) has a happens-before
+// edge to the poison store and must observe it.
+//
+// Reading rt.epoch from a delegate goroutine is race-free by the epoch
+// protocol: the counter only changes in BeginIsolation, which the program
+// context reaches only behind a barrier that proved every delegate
+// quiescent, and the increment happens-before any operation delegated in
+// the new epoch via the queue that delivered it.
+func (rt *Runtime) recordPanic(ctx int, set uint64, v any) {
+	stack := debug.Stack()
+	fs := rt.ensureFaults()
+	f := &PanicFault{Set: set, Ctx: ctx, Epoch: rt.epoch, Value: v, Stack: stack}
+	fs.mu.Lock()
+	fs.records = append(fs.records, f)
+	if set != noSetID {
+		old := fs.poisoned.Load()
+		if old == nil || (*old)[set] == nil {
+			m := make(map[uint64]*PanicFault, 1)
+			if old != nil {
+				for s, pf := range *old {
+					m[s] = pf
+				}
+			}
+			m[set] = f
+			fs.poisoned.Store(&m)
+			fs.poisonedSets.Add(1)
+			if rec := rt.rec; rec != nil && rec.steal != nil {
+				// Mirror the poison into the owner-table entry so the
+				// recursive rebalancer's no-steal check is one atomic load.
+				if e := rec.steal.owners.Load().lookup(set); e != nil {
+					e.poison.Store(f)
+				}
+			}
+		}
+	}
+	fs.mu.Unlock()
+	fs.panics.Add(1)
+	if ts := rt.traceSt; ts != nil {
+		ts.recordPanicEvent(ctx, set, rt.epoch, timeNow())
+	}
+}
+
+// maybeDrop implements the producer-side half of set poisoning on the
+// delegation path: a delegation to a poisoned set is dropped-but-counted
+// (Checked mode fails fast instead, re-raising with the original stack).
+// Callers gate on a non-nil faultState, so the fault-free path never
+// reaches the map lookup. Returns whether the delegation was dropped.
+func (rt *Runtime) maybeDrop(fs *faultState, set uint64) bool {
+	f := fs.lookup(set)
+	if f == nil {
+		return false
+	}
+	if rt.setOwner != nil {
+		// Cache the poison on the flat owner entry: the rebalancer's and the
+		// hot-set seeder's exclusion checks become one nil compare.
+		if e, ok := rt.setOwner[set]; ok && e.poison == nil {
+			e.poison = f
+		}
+	}
+	if rt.cfg.Checked {
+		panic(fmt.Sprintf(
+			"prometheus: delegation to poisoned set %d: an operation of the set panicked on context %d in epoch %d: %v\n--- original panic stack ---\n%s",
+			f.Set, f.Ctx, f.Epoch, f.Value, f.Stack))
+	}
+	fs.dropped.Add(1)
+	return true
+}
+
+// Faults returns a snapshot of every contained panic, in containment
+// order; nil when no delegated operation has faulted. Program context.
+func (rt *Runtime) Faults() []PanicFault {
+	fs := rt.faults.Load()
+	if fs == nil {
+		return nil
+	}
+	fs.mu.Lock()
+	out := make([]PanicFault, len(fs.records))
+	for i, f := range fs.records {
+		out[i] = *f
+	}
+	fs.mu.Unlock()
+	return out
+}
+
+// SetFaults returns the contained panics recorded against one
+// serialization set (across all epochs); nil when the set never faulted.
+func (rt *Runtime) SetFaults(set uint64) []PanicFault {
+	fs := rt.faults.Load()
+	if fs == nil {
+		return nil
+	}
+	var out []PanicFault
+	fs.mu.Lock()
+	for _, f := range fs.records {
+		if f.Set == set {
+			out = append(out, *f)
+		}
+	}
+	fs.mu.Unlock()
+	return out
+}
+
+// Poisoned reports whether the set is poisoned in the current epoch
+// (poisoning clears at BeginIsolation; fault records do not).
+func (rt *Runtime) Poisoned(set uint64) bool {
+	fs := rt.faults.Load()
+	return fs != nil && fs.lookup(set) != nil
+}

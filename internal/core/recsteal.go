@@ -160,6 +160,15 @@ type recSetEntry struct {
 	// its owner v only when every outPos[d] is covered by delegate d+1's
 	// laneExec[v].
 	outPos []atomic.Uint64
+	// poison mirrors the global poison table's entry for this set
+	// (fault.go) — nil unless one of the set's operations panicked this
+	// epoch, so the fault-free rebalancer pays one pointer load past the
+	// streaming fast path and the hot-set ranking a nil compare. Written by
+	// the faulting delegate (recordPanic) before it publishes the faulted
+	// operation's counters, which is what makes the no-steal check
+	// deterministic: any producer that proves the set quiescent has
+	// observed those counters, and therefore this pointer.
+	poison atomic.Pointer[PanicFault]
 }
 
 // recOwnerTable is the concurrent set->entry map behind the recursive
@@ -529,6 +538,15 @@ func (rt *Runtime) maybeStealRec(producer int, set uint64, e *recSetEntry) {
 	if e.lastPos[producer].Load() > vd.laneExec[producer].Load() {
 		return
 	}
+	if e.poison.Load() != nil {
+		// Poisoned sets are never stolen — and never force-evacuated: every
+		// further delegation to the set is dropped at the producer, so the
+		// self-delegation hazard the evacuation exists for cannot arise. The
+		// fast path above proved this producer's newest operation covered,
+		// which happens-after the faulting operation's counter publish and
+		// therefore after the poison store: the check cannot race the fault.
+		return
+	}
 	forced := v == producer // self-owned: evacuate, don't wait for load
 	var vOut uint64
 	if !forced {
@@ -690,6 +708,9 @@ func topHotSeeds(all []hotSeed, k int) []hotSeed {
 func rankHotSets(owners *recOwnerTable, k int) []hotSeed {
 	var all []hotSeed
 	owners.forEach(func(set uint64, e *recSetEntry) {
+		if e.poison.Load() != nil {
+			return // poisoned sets are never hot-seeded into the next epoch
+		}
 		if n := e.ops.Load(); n > 0 {
 			all = append(all, hotSeed{set, n, e.producer.Load()})
 		}

@@ -306,6 +306,11 @@ func (rt *Runtime) recEnqueue(producer int, set uint64, inv Invocation) int {
 		// violation gets.
 		panic("prometheus: serialization set id ^uint64(0) is reserved by the engine (recursive pool-task sentinel); use any other id")
 	}
+	if fs := rt.faults.Load(); fs != nil && rt.maybeDrop(fs, set) {
+		// The set is poisoned this epoch: drop-but-count, touching none of
+		// the enqueue/laneSent ledgers (the operation never enters them).
+		return rt.ContextFor(set)
+	}
 	if rec.producers != nil {
 		rec.producers.check(set, producer)
 	}
@@ -375,7 +380,7 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 			for claimed != 0 {
 				p := w<<6 | bits.TrailingZeros64(claimed)
 				claimed &= claimed - 1
-				drained, terminate := d.drainLane(p, d.lanes[p], buf, &executed)
+				drained, terminate := rt.drainLane(d, p, d.lanes[p], buf, &executed)
 				if terminate {
 					return
 				}
@@ -448,13 +453,19 @@ func (rt *Runtime) recLoop(d *recDelegate) {
 // served (the loop must exit). Draining to empty is what makes the
 // claimed-then-cleared pending bit safe: any value pushed after the final
 // empty observation re-raises the bit.
-func (d *recDelegate) drainLane(p int, lane *spsc.Lane[Invocation], buf []Invocation, executed *uint64) (drained, terminate bool) {
+//
+// Execution runs in recover()-protected spans (recExecSpan) — one deferred
+// recover per batch when fault-free, re-entered after each contained panic
+// so the delegate survives and the batch tail still runs against the fresh
+// fault state.
+func (rt *Runtime) drainLane(d *recDelegate, p int, lane *spsc.Lane[Invocation], buf []Invocation, executed *uint64) (drained, terminate bool) {
 	var le *atomic.Uint64 // lane ledger: maintained only under stealing
 	var base uint64
 	if d.laneExec != nil {
 		le = &d.laneExec[p]
 		base = le.Load() // single writer: this delegate
 	}
+	inject := rt.cfg.FaultInjector
 	for {
 		n := lane.PopBatch(buf)
 		if n == 0 {
@@ -463,37 +474,15 @@ func (d *recDelegate) drainLane(p int, lane *spsc.Lane[Invocation], buf []Invoca
 		drained = true
 		d.drainBatches.Add(1)
 		d.drainedOps.Add(uint64(n))
-		for i := 0; i < n; i++ {
-			inv := &buf[i]
-			switch inv.kind {
-			case kindMethod:
-				if le != nil {
-					// Stamp the producing set before running the operation:
-					// nested delegations it issues charge their lane
-					// positions to this set's outbound ledger
-					// (noteOutbound). One plain store; only this goroutine
-					// reads it back.
-					d.prodSet = inv.set
-				}
-				inv.invoke(d.id)
-				*executed++
-			case kindSync:
-				// Publish progress before signaling: an observer of done
-				// must see every earlier invocation counted.
-				d.exec.Store(*executed)
-				if le != nil {
-					le.Store(base + uint64(i) + 1)
-				}
-				close(inv.done)
-			case kindTerminate:
-				d.exec.Store(*executed)
-				if le != nil {
-					le.Store(base + uint64(i) + 1)
-				}
-				close(inv.done)
+		i := 0
+		for i < n {
+			fs := rt.faults.Load()
+			next, term := rt.recExecSpan(d, buf, i, n, executed, le, base, fs, inject)
+			if term {
 				clear(buf[:n])
 				return true, true
 			}
+			i = next
 		}
 		d.exec.Store(*executed)
 		if le != nil {
@@ -504,6 +493,71 @@ func (d *recDelegate) drainLane(p int, lane *spsc.Lane[Invocation], buf []Invoca
 		// closures and payloads until the buffer is refilled.
 		clear(buf[:n])
 	}
+}
+
+// recExecSpan executes buf[start:n] of one lane under a single deferred
+// recover. A recovered panic records the fault (poisoning the set), counts
+// the faulted operation as executed, and publishes BOTH ledgers — exec and
+// laneExec — before returning, so the recursive quiescence and
+// handoff-coverage proofs advance past the faulted operation and the
+// counter publishes carry the happens-before edge that makes the poison
+// deterministic for every observer of those proofs. Operations of a
+// poisoned set are skipped-but-counted; a poisoned set is never stolen
+// (maybeStealRec), so its backlog always drains on the owner that wrote
+// the poison and the skip point stays exact.
+func (rt *Runtime) recExecSpan(d *recDelegate, buf []Invocation, start, n int, executed *uint64, le *atomic.Uint64, base uint64, fs *faultState, inject func(int, uint64)) (next int, terminated bool) {
+	i := start
+	defer func() {
+		if v := recover(); v != nil {
+			rt.recordPanic(d.id, buf[i].set, v)
+			*executed++
+			d.exec.Store(*executed)
+			if le != nil {
+				le.Store(base + uint64(i) + 1)
+			}
+			next, terminated = i+1, false
+		}
+	}()
+	for ; i < n; i++ {
+		inv := &buf[i]
+		switch inv.kind {
+		case kindMethod:
+			if fs != nil && inv.set != noSetID && fs.lookup(inv.set) != nil {
+				fs.dropped.Add(1)
+				*executed++
+				continue
+			}
+			if le != nil {
+				// Stamp the producing set before running the operation:
+				// nested delegations it issues charge their lane
+				// positions to this set's outbound ledger
+				// (noteOutbound). One plain store; only this goroutine
+				// reads it back.
+				d.prodSet = inv.set
+			}
+			if inject != nil {
+				inject(d.id, inv.set)
+			}
+			inv.invoke(d.id)
+			*executed++
+		case kindSync:
+			// Publish progress before signaling: an observer of done
+			// must see every earlier invocation counted.
+			d.exec.Store(*executed)
+			if le != nil {
+				le.Store(base + uint64(i) + 1)
+			}
+			close(inv.done)
+		case kindTerminate:
+			d.exec.Store(*executed)
+			if le != nil {
+				le.Store(base + uint64(i) + 1)
+			}
+			close(inv.done)
+			return i, true
+		}
+	}
+	return n, false
 }
 
 // recBarrier waits until every delegate has drained every lane and no
@@ -523,7 +577,7 @@ func (rt *Runtime) recBarrier() {
 			dones = append(dones, done)
 		}
 		for _, done := range dones {
-			<-done
+			rt.waitDone(done)
 		}
 		if rec.execSum() == before && rec.enqSum() == before {
 			return
@@ -537,6 +591,6 @@ func (rt *Runtime) recTerminate() {
 	for _, d := range rt.rec.delegates {
 		done := make(chan struct{})
 		rt.recSend(d, Invocation{kind: kindTerminate, done: done})
-		<-done
+		rt.waitDone(done)
 	}
 }

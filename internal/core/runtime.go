@@ -115,6 +115,11 @@ type Runtime struct {
 	imbalanceEWMA    atomic.Int64
 	thresholdAdjusts atomic.Uint64
 
+	// faults is the fault-containment record (fault.go): nil until the
+	// first contained panic, so the fault-free hot path pays one atomic
+	// load and no allocation.
+	faults atomic.Pointer[faultState]
+
 	// traceSt holds trace buffers (nil unless Config.Trace).
 	traceSt    *traceState
 	epochStart time.Time
@@ -134,6 +139,12 @@ type setEntry struct {
 	ctx     int
 	lastPos uint64
 	ops     uint64
+	// poison caches the fault that poisoned this set (fault.go) — nil
+	// unless one occurred, so the fault-free entry stays three words and
+	// the rebalancer's and hot-seeder's exclusion checks are a nil compare.
+	// Program-context-private like the rest of the entry; the global
+	// copy-on-write poison table is the source of truth.
+	poison *PanicFault
 }
 
 // New creates and starts a runtime (paper: initialize()). The calling
@@ -205,15 +216,18 @@ func (rt *Runtime) delegateLoop(d *delegate) {
 	buf := make([]Invocation, drainBatchSize)
 	var executed uint64 // method invocations completed; published via d.executed
 	adaptive := rt.cfg.Stealing && rt.cfg.AdaptiveSteal
+	inject := rt.cfg.FaultInjector
 	sampleTick := 0
 	for {
 		inv, ok := d.queue.Pop()
 		if !ok { // queue closed and drained
 			return
 		}
-		if !d.exec(&inv, &executed) {
+		buf[0] = inv
+		if !rt.executeAll(d, buf, 1, &executed, inject) {
 			return
 		}
+		clear(buf[:1])
 		for {
 			n := d.queue.PopBatch(buf)
 			if n == 0 {
@@ -221,11 +235,9 @@ func (rt *Runtime) delegateLoop(d *delegate) {
 			}
 			d.drainBatches.Add(1)
 			d.drainedOps.Add(uint64(n))
-			for i := 0; i < n; i++ {
-				if !d.exec(&buf[i], &executed) {
-					clear(buf[:n])
-					return
-				}
+			if !rt.executeAll(d, buf, n, &executed, inject) {
+				clear(buf[:n])
+				return
 			}
 			// Drop payload references so executed invocations don't pin
 			// their closures and payloads until the buffer is refilled.
@@ -243,27 +255,78 @@ func (rt *Runtime) delegateLoop(d *delegate) {
 	}
 }
 
-// exec runs one invocation on the delegate and publishes its progress. It
-// returns false when the invocation was a termination object. The executed
-// counter is stored — not added — because the delegate is its only writer;
-// the store after invoke returns is what makes the occupancy and
-// safe-handoff reads on the program context sound: observing executed >= p
-// proves every method invocation up to position p has completed, and the
-// acquire load orders its effects before anything the observer publishes
-// afterwards (in particular a handed-off set's next operation).
-func (d *delegate) exec(inv *Invocation, executed *uint64) bool {
-	switch inv.kind {
-	case kindMethod:
-		inv.invoke(d.id)
-		*executed++
-		d.executed.Store(*executed)
-	case kindSync:
-		close(inv.done)
-	case kindTerminate:
-		close(inv.done)
-		return false
+// executeAll runs buf[:n] on d in recover()-protected spans, re-entering
+// after each contained panic so the delegate survives the fault and the
+// rest of the batch still runs. The fault state is reloaded at each span
+// entry — once on the fault-free path — so a fault anywhere in the batch
+// poisons the remainder of its set's operations in the SAME batch, keeping
+// the deterministic-skip point exact. Returns false when a termination
+// object was served.
+func (rt *Runtime) executeAll(d *delegate, buf []Invocation, n int, executed *uint64, inject func(int, uint64)) bool {
+	i := 0
+	for i < n {
+		fs := rt.faults.Load()
+		next, term := rt.execSpan(d, buf, i, n, executed, fs, inject)
+		if term {
+			return false
+		}
+		i = next
 	}
 	return true
+}
+
+// execSpan runs buf[start:n] under one deferred recover — the whole batch
+// in the fault-free case, so panic isolation costs one defer per drain run,
+// not per operation. The executed counter is stored — not added — because
+// the delegate is its only writer; the store after invoke returns is what
+// makes the occupancy and safe-handoff reads on the program context sound:
+// observing executed >= p proves every method invocation up to position p
+// has completed, and the acquire load orders its effects before anything
+// the observer publishes afterwards (in particular a handed-off set's next
+// operation).
+//
+// A recovered panic records the fault (poisoning the set) and then counts
+// the faulted operation as executed, so quiescence proofs and barriers
+// never wedge on it; the counter publish after recordPanic is the
+// happens-before edge that makes the poison visible to any context that
+// later proves the operation executed. Operations of a poisoned set are
+// skipped-but-counted here too — the owner wrote the poison itself (a
+// poisoned set is never stolen), so the drain-side check deterministically
+// catches everything a racing producer already had in flight.
+func (rt *Runtime) execSpan(d *delegate, buf []Invocation, start, n int, executed *uint64, fs *faultState, inject func(int, uint64)) (next int, terminated bool) {
+	i := start
+	defer func() {
+		if v := recover(); v != nil {
+			rt.recordPanic(d.id, buf[i].set, v)
+			*executed++
+			d.executed.Store(*executed)
+			next, terminated = i+1, false
+		}
+	}()
+	for ; i < n; i++ {
+		inv := &buf[i]
+		switch inv.kind {
+		case kindMethod:
+			if fs != nil && inv.set != noSetID && fs.lookup(inv.set) != nil {
+				fs.dropped.Add(1)
+				*executed++
+				d.executed.Store(*executed)
+				continue
+			}
+			if inject != nil {
+				inject(d.id, inv.set)
+			}
+			inv.invoke(d.id)
+			*executed++
+			d.executed.Store(*executed)
+		case kindSync:
+			close(inv.done)
+		case kindTerminate:
+			close(inv.done)
+			return i, true
+		}
+	}
+	return n, false
 }
 
 // Config returns the effective configuration.
@@ -318,6 +381,13 @@ func (rt *Runtime) BeginIsolation() {
 			rt.stats.HotSetsPlaced += uint64(rt.rec.steal.reseed(rt.cfg.Delegates))
 		}
 	}
+	if fs := rt.faults.Load(); fs != nil {
+		// Poisoning is epoch-scoped: the new epoch starts with a clean
+		// slate (fault records persist). Cleared AFTER the owner tables were
+		// rebuilt above, so the hot-set seeders could still exclude the
+		// closing epoch's poisoned sets.
+		fs.resetPoison()
+	}
 	rt.clock.switchTo(PhaseIsolation, &rt.stats)
 }
 
@@ -345,7 +415,11 @@ func (rt *Runtime) EndIsolation() {
 func (rt *Runtime) seedHotSets() {
 	var hot []hotSeed
 	if rt.cfg.Stealing {
+		fs := rt.faults.Load()
 		for set, e := range rt.setOwner {
+			if e.poison != nil || (fs != nil && fs.lookup(set) != nil) {
+				continue // poisoned sets are never hot-seeded
+			}
 			if e.ops > 0 {
 				hot = append(hot, hotSeed{set: set, ops: e.ops})
 			}
@@ -451,6 +525,22 @@ func (rt *Runtime) maybeSteal(set uint64, e *setEntry) {
 	}
 	if e.lastPos > rt.delegates[v-1].executed.Load() {
 		return // the set has work queued or in flight on its owner
+	}
+	if e.poison != nil {
+		return // poisoned sets are never stolen
+	}
+	if fs := rt.faults.Load(); fs != nil {
+		// Re-check the global table AFTER the quiescence read: the producer's
+		// delegation-time drop check may have raced the fault, but observing
+		// the faulted operation executed (the line above) happens-after the
+		// poison store (execSpan publishes the counter after recordPanic), so
+		// this lookup deterministically sees it — a poisoned set can never be
+		// stolen, and its backlog always drains on the owner that wrote the
+		// poison.
+		if f := fs.lookup(set); f != nil {
+			e.poison = f
+			return
+		}
 	}
 	thief, tOut := 0, ^uint64(0)
 	for _, d := range rt.delegates {
@@ -590,6 +680,9 @@ func (rt *Runtime) Delegate(set uint64, fn func(ctx int)) int {
 		rt.stats.Delegations++
 		return rt.delegateFrom(ProgramContext, set, fn)
 	}
+	if fs := rt.faults.Load(); fs != nil && rt.maybeDrop(fs, set) {
+		return rt.ContextFor(set) // dropped: the set is poisoned this epoch
+	}
 	ctx, e := rt.assign(set)
 	if ctx == ProgramContext {
 		rt.stats.InlineExecs++
@@ -626,6 +719,9 @@ func (rt *Runtime) DelegateCall(set uint64, tr Trampoline, p1, p2 unsafe.Pointer
 		rt.stats.Delegations++
 		return rt.recEnqueue(ProgramContext, set,
 			Invocation{kind: kindMethod, set: set, tramp: tr, p1: p1, p2: p2})
+	}
+	if fs := rt.faults.Load(); fs != nil && rt.maybeDrop(fs, set) {
+		return rt.ContextFor(set) // dropped: the set is poisoned this epoch
 	}
 	ctx, e := rt.assign(set)
 	if ctx == ProgramContext {
@@ -705,7 +801,7 @@ func (rt *Runtime) SyncContext(ctx int) {
 	rt.stats.Syncs++
 	done := make(chan struct{})
 	rt.delegates[ctx-1].queue.Push(Invocation{kind: kindSync, done: done})
-	<-done
+	rt.waitDone(done)
 	rt.dirty[ctx-1] = false
 }
 
@@ -747,7 +843,7 @@ func (rt *Runtime) barrier() {
 		dones = append(dones, done)
 	}
 	for _, done := range dones {
-		<-done
+		rt.waitDone(done)
 	}
 	for i := range rt.dirty {
 		rt.dirty[i] = false
@@ -801,7 +897,9 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 		if rt.sent != nil {
 			rt.sent[d.id-1]++ // method invocations count toward occupancy
 		}
-		d.queue.Push(Invocation{kind: kindMethod, fn: t})
+		// noSetID: a pool task belongs to no serialization set — it must
+		// not collide with user set 0 in the poison table when it faults.
+		d.queue.Push(Invocation{kind: kindMethod, set: noSetID, fn: t})
 	}
 	rt.barrier()
 }
@@ -843,6 +941,11 @@ func (rt *Runtime) Stats() Stats {
 		}
 	}
 	st.ThresholdAdjusts = rt.thresholdAdjusts.Load()
+	if fs := rt.faults.Load(); fs != nil {
+		st.Panics = fs.panics.Load()
+		st.PoisonedSets = fs.poisonedSets.Load()
+		st.DroppedOps = fs.dropped.Load()
+	}
 	clk := rt.clock
 	clk.switchTo(clk.phase, &st) // charge the open span without mutating rt
 	return st
@@ -869,7 +972,7 @@ func (rt *Runtime) Terminate() {
 	for _, d := range rt.delegates {
 		done := make(chan struct{})
 		d.queue.Push(Invocation{kind: kindTerminate, done: done})
-		<-done
+		rt.waitDone(done)
 		d.queue.Close()
 	}
 	rt.wg.Wait()

@@ -59,6 +59,15 @@ type Stats struct {
 	OutboundVetoes  uint64
 	OutboundTracked uint64
 
+	// Fault-containment counters (internal/core/fault.go). Panics counts
+	// contained delegated-operation panics; PoisonedSets counts sets ever
+	// poisoned by one (poisoning is epoch-scoped, the counter cumulative);
+	// DroppedOps counts delegations dropped because their set was poisoned
+	// — the deterministic skip of everything after a faulting position.
+	Panics       uint64
+	PoisonedSets uint64
+	DroppedOps   uint64
+
 	Aggregation time.Duration
 	Isolation   time.Duration
 	Reduction   time.Duration

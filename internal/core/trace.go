@@ -17,6 +17,7 @@ const (
 	TraceSync                   // a synchronization object was served
 	TraceEpoch                  // isolation epoch [Start, End) on the program context
 	TraceSteal                  // Set was handed off by the rebalancer; Ctx is the producer that migrated it
+	TracePanic                  // a delegated operation of Set panicked on Ctx and was contained (Epoch carries the isolation epoch)
 )
 
 func (k TraceKind) String() string {
@@ -29,17 +30,21 @@ func (k TraceKind) String() string {
 		return "epoch"
 	case TraceSteal:
 		return "steal"
+	case TracePanic:
+		return "panic"
 	default:
 		return "?"
 	}
 }
 
 // TraceEvent is one recorded event. Times are offsets from the runtime's
-// start, so events from different contexts share a clock.
+// start, so events from different contexts share a clock. Epoch is set only
+// on TracePanic events (the isolation epoch the faulting operation ran in).
 type TraceEvent struct {
 	Ctx        int
 	Kind       TraceKind
 	Set        uint64
+	Epoch      uint64
 	Start, End time.Duration
 }
 
@@ -62,6 +67,16 @@ func (ts *traceState) record(ctx int, kind TraceKind, set uint64, start, end tim
 		Set:   set,
 		Start: start.Sub(ts.origin),
 		End:   end.Sub(ts.origin),
+	})
+}
+
+// recordPanicEvent appends a TracePanic instant to ctx's buffer. Called by
+// the faulting delegate's own goroutine (recordPanic), honoring the
+// single-writer-per-buffer discipline.
+func (ts *traceState) recordPanicEvent(ctx int, set, epoch uint64, at time.Time) {
+	off := at.Sub(ts.origin)
+	ts.bufs[ctx] = append(ts.bufs[ctx], TraceEvent{
+		Ctx: ctx, Kind: TracePanic, Set: set, Epoch: epoch, Start: off, End: off,
 	})
 }
 

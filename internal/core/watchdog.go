@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Barrier watchdog. Every blocking synchronization the program context
+// performs — SyncContext, barrier (EndIsolation, Sleep, RunParallel),
+// Terminate — waits on a done channel only a delegate can close. Before
+// fault containment a dead or wedged delegate turned that wait into a
+// silent hang; with containment a wedge should be impossible, and the
+// watchdog is the enforcement of that claim in debug/Checked builds: if no
+// delegate publishes any progress for a full Config.Watchdog bound while a
+// synchronization is outstanding, panic with a dump of per-delegate queue
+// depths and ledger positions so the liveness bug arrives as an actionable
+// report instead of a CI timeout.
+
+// waitDone blocks until done closes. With the watchdog enabled it
+// periodically snapshots the pool-wide progress sum; two consecutive
+// identical snapshots a full bound apart with the wait still pending mean
+// the runtime is wedged.
+func (rt *Runtime) waitDone(done <-chan struct{}) {
+	wd := rt.cfg.Watchdog
+	if wd <= 0 {
+		<-done
+		return
+	}
+	timer := time.NewTimer(wd)
+	defer timer.Stop()
+	last := rt.progressSum()
+	for {
+		select {
+		case <-done:
+			return
+		case <-timer.C:
+			cur := rt.progressSum()
+			if cur == last {
+				panic(fmt.Sprintf(
+					"prometheus: watchdog: no delegate progress for %v while a synchronization is outstanding\n%s",
+					wd, rt.dumpSchedState()))
+			}
+			last = cur
+			timer.Reset(wd)
+		}
+	}
+}
+
+// progressSum folds every published delegate counter into one number that
+// advances whenever any delegate does anything observable: method
+// executions (faulted operations included — containment counts them) plus
+// batched-drain deliveries, which also move when a backlog of control
+// messages is served.
+func (rt *Runtime) progressSum() uint64 {
+	var sum uint64
+	for _, d := range rt.delegates {
+		sum += d.executed.Load() + d.drainedOps.Load()
+	}
+	if rt.rec != nil {
+		for _, d := range rt.rec.delegates {
+			sum += d.exec.Load() + d.drainedOps.Load()
+		}
+	}
+	return sum
+}
+
+// dumpSchedState renders the scheduler ledgers for the watchdog report:
+// per-delegate queue depths and executed counters in flat mode; the
+// enqueued/executed quiescence ledger, per-lane sent/exec positions, and
+// pending-lane bitmasks in recursive mode. Program context only (it reads
+// the program-private sent counters).
+func (rt *Runtime) dumpSchedState() string {
+	var b strings.Builder
+	if rec := rt.rec; rec != nil {
+		fmt.Fprintf(&b, "recursive engine: enqueued=%d executed=%d\n", rec.enqSum(), rec.execSum())
+		for _, d := range rec.delegates {
+			fmt.Fprintf(&b, "  delegate %d: exec=%d pending=", d.id, d.exec.Load())
+			for w := len(d.pending) - 1; w >= 0; w-- {
+				fmt.Fprintf(&b, "%016x", d.pending[w].Load())
+			}
+			if st := rec.steal; st != nil {
+				b.WriteString(" lanes[p:sent/exec]:")
+				for p := range d.laneExec {
+					sent := st.laneSent[d.id-1][p].n.Load()
+					exec := d.laneExec[p].Load()
+					if sent != 0 || exec != 0 {
+						fmt.Fprintf(&b, " %d:%d/%d", p, sent, exec)
+					}
+				}
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "flat engine: %d delegates\n", len(rt.delegates))
+	for i, d := range rt.delegates {
+		var sent uint64
+		if rt.sent != nil {
+			sent = rt.sent[i]
+		}
+		fmt.Fprintf(&b, "  delegate %d: queue=%d sent=%d executed=%d dirty=%v\n",
+			d.id, d.queue.Len(), sent, d.executed.Load(), rt.dirty[i])
+	}
+	return b.String()
+}

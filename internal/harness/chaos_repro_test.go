@@ -1,0 +1,28 @@
+package harness
+
+import "testing"
+
+// The A7 workload must survive every injection rate — a wedged barrier
+// would hang these. (A6's recursiveSkewed would NOT pass the faulty rows:
+// its wave throttle spin-waits on marker operations that poisoning drops;
+// see the A7 comment in experiments.go.)
+func TestChaosWorkloadSurvives(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    float64
+	}{
+		{"control", 0},
+		{"low", 0.005},
+		{"high", 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := chaosSkewed(chaosOpt(tc.p))
+			if tc.p == 0 && st.Panics != 0 {
+				t.Errorf("control row contained %d panics, want 0", st.Panics)
+			}
+			if tc.p > 0 && st.Panics == 0 {
+				t.Errorf("p=%g row contained no panics", tc.p)
+			}
+		})
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	prometheus "repro"
+	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -305,7 +307,72 @@ func Ablation(w io.Writer, opts Options) error {
 			st.Handoffs, st.ForcedEvacs, st.OutboundVetoes, st.OutboundTracked,
 			st.ThresholdAdjusts, st.HotSetsPlaced, st.Spills)
 	}
+
+	fmt.Fprintf(w, "\nA7. fault containment under chaos injection (internal/chaos, seeded)\n")
+	// Each row runs the chaosSkewed workload with a seeded probabilistic
+	// injector panicking in a fraction p of operations. The runtime must
+	// survive every row (a wedged barrier would hang the table); the fault
+	// counters price what containment did: panics contained, sets poisoned,
+	// and delegations dropped on poisoned sets. p=0 is the control — it
+	// runs with the injection seam armed but never firing, so its time vs
+	// the other rows is the price of the faults, not of the seam.
+	//
+	// A6's recursiveSkewed is deliberately NOT reused here: its wave
+	// throttle spin-waits inside the root operation for marker operations
+	// delegated to the hot sets, and a marker dropped on a poisoned set
+	// would spin that wait forever. That is the documented containment
+	// hazard for user-level waits (doc.go "Fault containment") — chaos
+	// workloads must throttle through engine barriers, which containment
+	// guarantees still close.
+	fmt.Fprintf(w, "%-14s %10s %8s %9s %9s %9s\n",
+		"workload", "ms", "panics", "poisoned", "dropped", "survived")
+	for _, p := range []float64{0, 0.005, 0.05} {
+		p := p
+		var st prometheus.Stats
+		elapsed := TimeBest(opts.Reps, func() {
+			st = chaosSkewed(chaosOpt(p))
+		})
+		fmt.Fprintf(w, "%-14s %10.2f %8d %9d %9d %9v\n",
+			fmt.Sprintf("rec-skew p=%g", p), 1e3*elapsed.Seconds(),
+			st.Panics, st.PoisonedSets, st.DroppedOps, true)
+	}
 	return nil
+}
+
+// chaosOpt arms the runtime's fault-injection seam with a fresh seeded
+// injector panicking in a fraction p of delegated operations.
+func chaosOpt(p float64) prometheus.Option {
+	hook := chaos.Seeded(11, p).Hook()
+	return func(c *core.Config) { c.FaultInjector = hook }
+}
+
+// chaosSkewed is the A7 workload: the same 90/10 hot/cold recursive shape
+// as A6 but fault-tolerant by construction — the program context streams
+// the hot runs (bounded by lane backpressure), each hot operation issues
+// one fire-and-forget nested delegation to a cold set, and the only waits
+// are the epoch barriers, which fault containment guarantees close no
+// matter which operations were dropped. Two epochs, so poisoning-clears-
+// at-epoch-boundary is on the measured path too.
+func chaosSkewed(extra ...prometheus.Option) prometheus.Stats {
+	all := append([]prometheus.Option{prometheus.WithDelegates(4), prometheus.Recursive()}, extra...)
+	rt := prometheus.Init(all...)
+	defer rt.Terminate()
+	hot := []uint64{0, 4, 8, 12}   // delegate 1 under StaticMod's vmap
+	cold := []uint64{2, 6, 3, 7}   // spread; produced only by the hot ops' delegate
+	w := prometheus.NewWritable(rt, 0)
+	for epoch := 0; epoch < 2; epoch++ {
+		rt.BeginIsolation()
+		for i := 0; i < 400; i++ {
+			h := hot[i%len(hot)]
+			c := cold[i%len(cold)]
+			w.DelegateTo(h, func(cx *prometheus.Ctx, _ *int) {
+				time.Sleep(5 * time.Microsecond)
+				cx.Delegate(c, func(*prometheus.Ctx) {})
+			})
+		}
+		rt.EndIsolation()
+	}
+	return rt.Stats()
 }
 
 // recursiveSkewed is the A6 workload: the shared 90/10 skewed recursive

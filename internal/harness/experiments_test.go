@@ -59,6 +59,31 @@ func TestFig6Smoke(t *testing.T) {
 	}
 }
 
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	var sb strings.Builder
+	if err := Ablation(&sb, smallOpts("histogram")); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// A7 is the fault-containment table: the chaos rows must run to
+	// completion (a wedged barrier would hang this test) and surface the
+	// fault counters.
+	for _, want := range []string{
+		"A5. occupancy-aware work stealing",
+		"A6. recursive whole-set stealing",
+		"A7. fault containment under chaos injection",
+		"panics", "poisoned", "dropped",
+		"rec-skew p=0", "rec-skew p=0.05",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestExperimentsRejectUnknownApp(t *testing.T) {
 	var sb strings.Builder
 	for name, run := range map[string]func() error{

@@ -1,6 +1,8 @@
 package prometheus
 
 import (
+	"errors"
+	"sort"
 	"sync/atomic"
 	"unsafe"
 
@@ -226,6 +228,7 @@ const (
 	TraceSync  = core.TraceSync
 	TraceEpoch = core.TraceEpoch
 	TraceSteal = core.TraceSteal
+	TracePanic = core.TracePanic
 )
 
 // TraceEvents returns the merged trace (nil unless WithTrace was given).
@@ -234,6 +237,54 @@ func (rt *Runtime) TraceEvents() []TraceEvent { return rt.core.TraceEvents() }
 
 // Checked reports whether dynamic error detection is enabled.
 func (rt *Runtime) Checked() bool { return rt.checked }
+
+// NoSet is the serialization-set id reported in a PanicError when the
+// faulted operation belonged to no set (a RunParallel pool task). It is
+// reserved: user delegations may not use it.
+const NoSet = core.NoSet
+
+// Err reports every panic the runtime has contained so far, aggregated
+// into one error (errors.Join of ErrPanic-kind *Error values, each
+// wrapping a *PanicError with the recovered value and original stack), in
+// (epoch, set) order. Nil when no delegated operation has faulted. A
+// contained panic poisons the faulting operation's serialization set for
+// the rest of its isolation epoch — the set executed exactly its prefix up
+// to the fault, everything after was deterministically dropped — so Err is
+// how a program that survived an epoch finds out it did not finish it.
+// Program context.
+func (rt *Runtime) Err() error { return joinFaults(rt.core.Faults()) }
+
+// SetErr reports the contained panics recorded against one serialization
+// set, aggregated like Err. Nil when the set never faulted. Program
+// context.
+func (rt *Runtime) SetErr(set uint64) error { return joinFaults(rt.core.SetFaults(set)) }
+
+// Poisoned reports whether the set is poisoned in the current isolation
+// epoch (delegations to it are being dropped). Poisoning clears at the
+// next BeginIsolation; fault records — and therefore Err/SetErr — do not.
+func (rt *Runtime) Poisoned(set uint64) bool { return rt.core.Poisoned(set) }
+
+// joinFaults renders engine fault records as the public error surface.
+// The records arrive in containment order, which concurrent faults on
+// different delegates make nondeterministic; sorting by (epoch, set) gives
+// the report a stable shape.
+func joinFaults(faults []core.PanicFault) error {
+	if len(faults) == 0 {
+		return nil
+	}
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].Epoch != faults[j].Epoch {
+			return faults[i].Epoch < faults[j].Epoch
+		}
+		return faults[i].Set < faults[j].Set
+	})
+	errs := make([]error, len(faults))
+	for i, f := range faults {
+		pe := &PanicError{Set: f.Set, Ctx: f.Ctx, Epoch: f.Epoch, Value: f.Value, Stack: f.Stack}
+		errs[i] = &Error{Kind: ErrPanic, Msg: pe.Error(), Err: pe}
+	}
+	return errors.Join(errs...)
+}
 
 // nextInstance issues wrapper instance numbers (the sequence serializer's
 // identity source).

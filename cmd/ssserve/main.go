@@ -1,0 +1,119 @@
+// Command ssserve runs the serialization-sets serving tier: an HTTP
+// frontend that hashes each request's session key to a serialization set
+// and delegates its handler there, so concurrent connections get per-key
+// causal order, skewed keys are rebalanced by whole-set stealing, and a
+// panicking request is contained — its key fails fast for the rest of the
+// epoch while every other key keeps serving.
+//
+// The built-in handler is a per-session counter/KV API, enough to
+// exercise and demonstrate the ordering and containment properties:
+//
+//	GET  /bump?key=K            increment K's sequence, return "seq=N"
+//	GET  /get?key=K&k=NAME      read NAME from K's KV, return its value
+//	POST /set?key=K&k=NAME&v=V  write NAME=V into K's KV
+//	any  + header X-Chaos-Panic: 1   the handler panics (chaos injection)
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               200, or 503 while draining
+//
+// The session key comes from the X-Session-Key header or the key query
+// parameter. On SIGTERM/SIGINT the server drains: the listener stops
+// accepting, admitted requests are served to completion, the final epoch
+// barrier runs, and stragglers past -drain-timeout are reported with the
+// runtime's scheduler dump.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		delegates     = flag.Int("delegates", 0, "delegate contexts (0 = GOMAXPROCS-1)")
+		shards        = flag.Int("shards", 8, "latency-metric set shards")
+		maxInflight   = flag.Int("max-inflight", 1024, "admission budget (503 above it)")
+		rate          = flag.Float64("rate", 0, "per-key token-bucket rate, requests/sec (0 = off)")
+		burst         = flag.Float64("burst", 10, "per-key token-bucket burst")
+		epochInterval = flag.Duration("epoch-interval", 100*time.Millisecond, "isolation-epoch rotation period")
+		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain straggler deadline")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Delegates:     *delegates,
+		Shards:        *shards,
+		MaxInflight:   *maxInflight,
+		Rate:          *rate,
+		Burst:         *burst,
+		EpochInterval: *epochInterval,
+		DrainTimeout:  *drainTimeout,
+		Handler:       handle,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("ssserve: listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("ssserve: listener failed: %v", err)
+	case s := <-sig:
+		log.Printf("ssserve: %v: draining", s)
+	}
+
+	// Drain order: stop accepting and wait for inflight HTTP handlers
+	// first (they need the router alive to answer), then drain the router
+	// itself — final barrier, sweep, terminate.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("ssserve: listener shutdown: %v", err)
+	}
+	if err := srv.Drain(); err != nil {
+		log.Printf("ssserve: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("ssserve: drained cleanly")
+}
+
+// handle is the per-session request handler, executed on a delegate
+// context with the session's set serializing it against every other
+// request for the same key.
+func handle(s *serve.Session, r *http.Request) (int, string) {
+	if r.Header.Get("X-Chaos-Panic") == "1" {
+		panic(fmt.Sprintf("chaos: injected panic for key %q (seq %d)", s.Key, s.Seq))
+	}
+	q := r.URL.Query()
+	switch r.URL.Path {
+	case "/bump", "/":
+		return http.StatusOK, fmt.Sprintf("key=%s seq=%d\n", s.Key, s.Seq)
+	case "/get":
+		v, ok := s.Data[q.Get("k")]
+		if !ok {
+			return http.StatusNotFound, "not found\n"
+		}
+		return http.StatusOK, v + "\n"
+	case "/set":
+		s.Data[q.Get("k")] = q.Get("v")
+		return http.StatusOK, "ok\n"
+	default:
+		return http.StatusNotFound, "unknown path\n"
+	}
+}

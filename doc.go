@@ -329,4 +329,46 @@
 // one per drain run — all poison state is allocated lazily on the first
 // contained panic, and the alloc gates pin the armed hot path at 0
 // allocs/op.
+//
+// Fault records are retained in a bounded ring (WithFaultRecordBound,
+// default 1024): a runtime that serves for weeks must not let every
+// contained panic pin its captured stack forever. Evicted records are
+// counted in Stats.DroppedFaults; the Panics counter and the poisoning
+// discipline are unaffected, and Err/SetErr describe the most recent
+// faults. SetErr is indexed per set — O(faults on that set) — because the
+// serving tier calls it on every failed request.
+//
+// # Serving tier
+//
+// internal/serve and cmd/ssserve put the model in front of real traffic:
+// serialization sets as a session-affinity request router. Each request's
+// key (user id, session, tenant) hashes to a serialization set via
+// StringSet, and the request's handler is delegated to that set — so
+// requests for one key execute in arrival order on one delegate at a time
+// (per-key causal order, no per-session locks), requests for different
+// keys run concurrently across the pool, and the whole-set stealer
+// rebalances hot keys under skew. One bad request maps to one failed
+// session: a panicking handler poisons only its key's set for the epoch
+// (those requests fail fast, 500 with the fault attached via SetErr)
+// while every other key keeps serving.
+//
+// The architecture honors the model's central discipline — the program
+// context is the sole caller of Runtime methods — by making the router
+// goroutine the program context: HTTP handler goroutines pass jobs over
+// one bounded channel and park on per-job done channels; the router
+// delegates each job to its key's set and rotates isolation epochs on a
+// timer. Rotation is the serving repair loop: the barrier proves the pool
+// quiescent, jobs whose delegations were dropped on a poison seam are
+// swept to definitive 500s (after the barrier the sweep is exact, not
+// heuristic), the Stats snapshot republishes for the metrics scrape, and
+// BeginIsolation clears the poison so faulted keys heal. Admission
+// control (inflight budget, bounded queue) and per-key token buckets
+// repel overload on the handler goroutines before the router is touched;
+// graceful drain stops admission, serves everything accepted, and reports
+// stragglers with Runtime.SchedDump. Histogram (fixed-bucket, atomic,
+// allocation-free Observe) carries the per-set latency and queue-depth
+// metrics; Runtime.QueueDepths exposes per-delegate backlogs to the
+// scrape. The serving stress tests assert per-key ordering under skewed
+// concurrent load, drain completeness (no accepted request unanswered),
+// and poisoned-session isolation at the HTTP surface.
 package prometheus

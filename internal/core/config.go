@@ -13,6 +13,13 @@ import (
 // (or a CI timeout) into a state dump, not to police slow operations.
 const DefaultWatchdog = 30 * time.Second
 
+// DefaultFaultRecordBound is the default cap on retained contained-panic
+// records (Config.FaultRecordBound). 1024 full stack captures is roughly a
+// few tens of megabytes worst case — enough history to diagnose a fault
+// storm, small enough that a server containing panics for weeks holds
+// steady-state memory.
+const DefaultFaultRecordBound = 1024
+
 // DefaultDelegateBatch is the default size of the program context's
 // delegation buffer. Small on purpose: the buffer amortizes the wake-signal
 // atomic across a burst, and a handful of operations already captures most
@@ -203,6 +210,16 @@ type Config struct {
 	// hoisted nil check.
 	FaultInjector func(ctx int, set uint64)
 
+	// FaultRecordBound caps how many contained-panic records the runtime
+	// retains (internal/core/fault.go): the record store is a ring that
+	// evicts the oldest fault once the bound is reached, counting evictions
+	// in Stats.DroppedFaults. Unbounded retention is fatal for a
+	// long-running server — every contained panic pins its captured stack —
+	// while the error surface (Err/SetErr) only ever needs the recent
+	// window. Poison state and the fault counters are unaffected by
+	// eviction. Default DefaultFaultRecordBound.
+	FaultRecordBound int
+
 	// Watchdog bounds how long a blocking synchronization (SyncContext,
 	// barrier/EndIsolation, Terminate) will wait while no delegate
 	// publishes any progress before panicking with a dump of per-delegate
@@ -251,6 +268,9 @@ func (c Config) withDefaults() Config {
 			c.StealThreshold = MaxStealThreshold
 		}
 		c.AdaptiveSteal = true
+	}
+	if c.FaultRecordBound <= 0 {
+		c.FaultRecordBound = DefaultFaultRecordBound
 	}
 	if c.Watchdog == 0 && c.Checked {
 		c.Watchdog = DefaultWatchdog

@@ -56,21 +56,70 @@ type PanicFault struct {
 // contained panic (Runtime.faults stays nil on the fault-free path).
 type faultState struct {
 	// mu serializes writers (faulting delegates append records and replace
-	// the poison map); readers never take it on the delegation path.
+	// the poison map) and record readers; readers never take it on the
+	// delegation path.
 	mu sync.Mutex
 	// poisoned is the current epoch's poisoned-set table, copy-on-write
 	// behind an atomic pointer so producers and drain loops read it with one
 	// load and no lock. Values point at the fault that poisoned the set.
 	// BeginIsolation clears it — poisoning is epoch-scoped; records are not.
 	poisoned atomic.Pointer[map[uint64]*PanicFault]
-	// records accumulates every contained panic for the runtime's lifetime,
-	// in containment order (concurrent faults on different delegates append
-	// in arrival order).
+	// records is a bounded ring of the most recent contained panics, in
+	// containment order (concurrent faults on different delegates append in
+	// arrival order). A long-lived runtime — the serving tier runs for
+	// weeks — must not let every contained panic pin a stack forever, so
+	// once len(records) reaches bound the oldest record is evicted and
+	// droppedRec counts it. head indexes the oldest live record.
 	records []*PanicFault
+	head    int
+	bound   int
+	// bySet indexes the live records by serialization set, so the serving
+	// tier's per-failed-request SetFaults/SetErr lookups walk only that
+	// set's faults instead of every fault the runtime ever contained.
+	// Slices hold records in containment order; ring eviction pops the
+	// global oldest record, which is by construction the head of its set's
+	// slice.
+	bySet map[uint64][]*PanicFault
 
 	panics       atomic.Uint64 // contained panics (Stats.Panics)
 	poisonedSets atomic.Uint64 // sets ever poisoned (Stats.PoisonedSets)
 	dropped      atomic.Uint64 // delegations dropped on poisoned sets (Stats.DroppedOps)
+	droppedRec   atomic.Uint64 // fault records evicted by the ring bound (Stats.DroppedFaults)
+}
+
+// addRecord appends f to the bounded record ring and the per-set index.
+// Caller holds fs.mu.
+func (fs *faultState) addRecord(f *PanicFault) {
+	if len(fs.records) >= fs.bound {
+		old := fs.records[fs.head]
+		fs.records[fs.head] = f
+		fs.head = (fs.head + 1) % fs.bound
+		fs.evictFromIndex(old)
+		fs.droppedRec.Add(1)
+	} else {
+		fs.records = append(fs.records, f)
+	}
+	fs.bySet[f.Set] = append(fs.bySet[f.Set], f)
+}
+
+// evictFromIndex removes the globally-oldest record — the head of its set's
+// slice — from the per-set index. Caller holds fs.mu.
+func (fs *faultState) evictFromIndex(old *PanicFault) {
+	s := fs.bySet[old.Set]
+	if len(s) <= 1 {
+		delete(fs.bySet, old.Set)
+		return
+	}
+	fs.bySet[old.Set] = s[1:]
+}
+
+// snapshotRecords returns the live records oldest-first. Caller holds fs.mu.
+func (fs *faultState) snapshotRecords() []PanicFault {
+	out := make([]PanicFault, len(fs.records))
+	for i := range fs.records {
+		out[i] = *fs.records[(fs.head+i)%len(fs.records)]
+	}
+	return out
 }
 
 // lookup returns the fault that poisoned set this epoch, or nil. Lock-free;
@@ -97,7 +146,7 @@ func (rt *Runtime) ensureFaults() *faultState {
 	if fs := rt.faults.Load(); fs != nil {
 		return fs
 	}
-	fs := &faultState{}
+	fs := &faultState{bound: rt.cfg.FaultRecordBound, bySet: make(map[uint64][]*PanicFault)}
 	if rt.faults.CompareAndSwap(nil, fs) {
 		return fs
 	}
@@ -123,7 +172,7 @@ func (rt *Runtime) recordPanic(ctx int, set uint64, v any) {
 	fs := rt.ensureFaults()
 	f := &PanicFault{Set: set, Ctx: ctx, Epoch: rt.epoch, Value: v, Stack: stack}
 	fs.mu.Lock()
-	fs.records = append(fs.records, f)
+	fs.addRecord(f)
 	if set != noSetID {
 		old := fs.poisoned.Load()
 		if old == nil || (*old)[set] == nil {
@@ -178,24 +227,28 @@ func (rt *Runtime) maybeDrop(fs *faultState, set uint64) bool {
 	return true
 }
 
-// Faults returns a snapshot of every contained panic, in containment
-// order; nil when no delegated operation has faulted. Program context.
+// Faults returns a snapshot of the retained contained panics (the most
+// recent Config.FaultRecordBound of them), in containment order; nil when
+// no delegated operation has faulted. Safe from any goroutine: the record
+// ring is mutex-protected, so the serving tier's handler goroutines may
+// query faults concurrently with the program context and with faulting
+// delegates.
 func (rt *Runtime) Faults() []PanicFault {
 	fs := rt.faults.Load()
 	if fs == nil {
 		return nil
 	}
 	fs.mu.Lock()
-	out := make([]PanicFault, len(fs.records))
-	for i, f := range fs.records {
-		out[i] = *f
-	}
+	out := fs.snapshotRecords()
 	fs.mu.Unlock()
 	return out
 }
 
-// SetFaults returns the contained panics recorded against one
-// serialization set (across all epochs); nil when the set never faulted.
+// SetFaults returns the retained contained panics recorded against one
+// serialization set (across all epochs); nil when the set never faulted —
+// O(faults on that set) via the per-set index, not O(all faults), because
+// the serving tier calls this on every failed request. Safe from any
+// goroutine, like Faults.
 func (rt *Runtime) SetFaults(set uint64) []PanicFault {
 	fs := rt.faults.Load()
 	if fs == nil {
@@ -203,17 +256,30 @@ func (rt *Runtime) SetFaults(set uint64) []PanicFault {
 	}
 	var out []PanicFault
 	fs.mu.Lock()
-	for _, f := range fs.records {
-		if f.Set == set {
-			out = append(out, *f)
+	if recs := fs.bySet[set]; len(recs) > 0 {
+		out = make([]PanicFault, len(recs))
+		for i, f := range recs {
+			out[i] = *f
 		}
 	}
 	fs.mu.Unlock()
 	return out
 }
 
+// DroppedFaults reports how many fault records the bounded ring has
+// evicted (Stats.DroppedFaults). Safe from any goroutine.
+func (rt *Runtime) DroppedFaults() uint64 {
+	fs := rt.faults.Load()
+	if fs == nil {
+		return 0
+	}
+	return fs.droppedRec.Load()
+}
+
 // Poisoned reports whether the set is poisoned in the current epoch
-// (poisoning clears at BeginIsolation; fault records do not).
+// (poisoning clears at BeginIsolation; fault records do not). Lock-free —
+// one atomic load plus a read-only map lookup — and safe from any
+// goroutine: the poison table is copy-on-write.
 func (rt *Runtime) Poisoned(set uint64) bool {
 	fs := rt.faults.Load()
 	return fs != nil && fs.lookup(set) != nil

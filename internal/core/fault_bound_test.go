@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFaultRecordBoundRing drives 10k contained panics through a runtime
+// with a small retention bound and checks the long-runtime contract: fault
+// MEMORY stays bounded (only the most recent records survive), the Panics
+// counter still counts everything, evictions surface in DroppedFaults, and
+// the per-set index agrees exactly with the retained ring.
+func TestFaultRecordBoundRing(t *testing.T) {
+	const (
+		bound       = 8
+		epochs      = 100
+		setsPerWave = 100 // one fault per set per epoch (poison drops repeats)
+	)
+	rt := newTestRuntime(t, Config{Delegates: 2, Policy: LeastLoaded, FaultRecordBound: bound})
+	for ep := 0; ep < epochs; ep++ {
+		rt.BeginIsolation()
+		for s := 0; s < setsPerWave; s++ {
+			rt.Delegate(uint64(100+s), func(int) { panic("boom") })
+		}
+		rt.EndIsolation()
+	}
+	const total = epochs * setsPerWave
+
+	if st := rt.Stats(); st.Panics != total {
+		t.Errorf("Panics = %d, want %d", st.Panics, total)
+	}
+	if d := rt.DroppedFaults(); d != total-bound {
+		t.Errorf("DroppedFaults = %d, want %d", d, total-bound)
+	}
+	if st := rt.Stats(); st.DroppedFaults != total-bound {
+		t.Errorf("Stats.DroppedFaults = %d, want %d", st.DroppedFaults, total-bound)
+	}
+	faults := rt.Faults()
+	if len(faults) != bound {
+		t.Fatalf("Faults() retained %d records, want %d", len(faults), bound)
+	}
+	// Epoch barriers order containment across epochs, so every survivor
+	// must come from the final epoch even though arrival order within an
+	// epoch is racy.
+	perSet := map[uint64]int{}
+	for _, f := range faults {
+		if f.Epoch != epochs {
+			t.Errorf("retained fault from epoch %d, want only epoch %d", f.Epoch, epochs)
+		}
+		perSet[f.Set]++
+	}
+	// The per-set index must describe exactly the retained ring: same
+	// multiset of records, and nothing for evicted sets.
+	var indexed int
+	for set, n := range perSet {
+		got := rt.SetFaults(set)
+		if len(got) != n {
+			t.Errorf("SetFaults(%d) = %d records, ring holds %d", set, len(got), n)
+		}
+		indexed += len(got)
+	}
+	if indexed != bound {
+		t.Errorf("index holds %d records, want %d", indexed, bound)
+	}
+}
+
+// TestSetFaultsIndexEviction checks the ring/index agreement precisely on
+// one set: faults accumulate across epochs, eviction pops the oldest, and
+// a fully-evicted set drops out of the index entirely.
+func TestSetFaultsIndexEviction(t *testing.T) {
+	const bound = 4
+	rt := newTestRuntime(t, Config{Delegates: 2, Policy: LeastLoaded, FaultRecordBound: bound})
+
+	// Epoch 1: one fault on the sibling set (will be evicted), then six
+	// epochs of one fault each on set 7.
+	rt.BeginIsolation()
+	rt.Delegate(3, func(int) { panic("sibling") })
+	rt.EndIsolation()
+	for ep := 0; ep < 6; ep++ {
+		rt.BeginIsolation()
+		rt.Delegate(7, func(int) { panic("boom") })
+		rt.EndIsolation()
+	}
+
+	if sf := rt.SetFaults(3); sf != nil {
+		t.Errorf("SetFaults(3) = %v after eviction, want nil", sf)
+	}
+	sf := rt.SetFaults(7)
+	if len(sf) != bound {
+		t.Fatalf("SetFaults(7) = %d records, want %d", len(sf), bound)
+	}
+	for i, f := range sf {
+		// Sibling fault in epoch 1, set-7 faults in epochs 2..7; the
+		// retained four are epochs 4..7 in containment order.
+		if want := uint64(4 + i); f.Epoch != want {
+			t.Errorf("SetFaults(7)[%d].Epoch = %d, want %d", i, f.Epoch, want)
+		}
+	}
+	if rt.DroppedFaults() != 3 {
+		t.Errorf("DroppedFaults = %d, want 3", rt.DroppedFaults())
+	}
+}
+
+// TestCovSignalWakesWaiter is the coverage-wait parking unit test: a
+// subscribed waiter parks on the broadcast channel and a publisher's
+// covSignal wakes it (close-and-replace, so late subscribers get a fresh
+// channel).
+func TestCovSignalWakesWaiter(t *testing.T) {
+	d := &recDelegate{covCh: make(chan struct{})}
+	ch := d.covSubscribe()
+	if got := d.covWaiters.Load(); got != 1 {
+		t.Fatalf("covWaiters = %d after subscribe, want 1", got)
+	}
+	var woke sync.WaitGroup
+	woke.Add(1)
+	go func() {
+		defer woke.Done()
+		<-ch
+		d.covUnsubscribe()
+	}()
+	if d.covWaiters.Load() != 0 {
+		d.covSignal()
+	}
+	done := make(chan struct{})
+	go func() { woke.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke after covSignal")
+	}
+	if got := d.covWaiters.Load(); got != 0 {
+		t.Errorf("covWaiters = %d after unsubscribe, want 0", got)
+	}
+	// The replaced channel must be open for the next round of waiters.
+	select {
+	case <-d.covSubscribe():
+		t.Error("fresh broadcast channel is already closed")
+	default:
+		d.covUnsubscribe()
+	}
+}
+
+// TestEvacWaitDeadline pins the mutual-wait escape hatch: a forced
+// evacuation waiting on outbound coverage that never arrives must give up
+// within the evacWaitBudget deadline (parked, not spinning) rather than
+// block its delegate forever.
+func TestEvacWaitDeadline(t *testing.T) {
+	rt := newTestRuntime(t, Config{
+		Delegates: 2, Recursive: true, Policy: LeastLoaded, Stealing: true,
+	})
+	rt.BeginIsolation()
+	// A hand-built entry claiming uncovered outbound traffic into delegate
+	// 2's lane for victim 1; nothing will ever drain it.
+	e := &recSetEntry{outPos: make([]atomic.Uint64, 2)}
+	e.outPos[1].Store(5)
+	start := time.Now()
+	if rt.waitRecOutboundCoverage(e, 1) {
+		t.Error("coverage reported for traffic nothing executed")
+	}
+	if elapsed := time.Since(start); elapsed < evacWaitBudget/2 || elapsed > 10*evacWaitBudget {
+		t.Errorf("wait returned after %v, want roughly the %v budget", elapsed, evacWaitBudget)
+	}
+	rt.EndIsolation()
+}

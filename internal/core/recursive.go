@@ -95,6 +95,19 @@ type recDelegate struct {
 	drainBatches atomic.Uint64
 	drainedOps   atomic.Uint64
 
+	// Coverage-waiter list (stealing only): producers parked in
+	// waitRecOutboundCoverage until THIS delegate's laneExec counters
+	// advance. covWaiters counts parked producers — the drain loop checks
+	// it with one atomic load per drain run and broadcasts only when it is
+	// nonzero, so the waiter-free hot path pays nothing else. covCh is the
+	// broadcast: closed-and-replaced under covMu at each signalled publish,
+	// the classic close-to-wake-all channel rotation (a waiter that
+	// subscribed to an already-rotated channel finds it closed and simply
+	// re-checks).
+	covWaiters atomic.Int32
+	covMu      sync.Mutex
+	covCh      chan struct{}
+
 	// Outbound-attribution state for the per-set handoff ledger
 	// (recsteal.go), maintained only under stealing and touched only by
 	// this delegate's goroutine — plain fields, no atomics. prodSet is the
@@ -244,15 +257,24 @@ func (rt *Runtime) initRecursive() {
 		}
 		if cfg.Stealing {
 			d.laneExec = make([]atomic.Uint64, nProducers)
+			d.covCh = make(chan struct{})
 		}
 		for p := 0; p < nProducers; p++ {
 			d.lanes = append(d.lanes, spsc.NewLanePooled[Invocation](cfg.QueueCapacity, pool))
 		}
 		rec.delegates = append(rec.delegates, d)
+	}
+	// Publish the engine state BEFORE spawning any drain loop: an idle
+	// delegate reaches its first imbalance-sample tick without ever
+	// synchronizing with this goroutine, so everything it may read —
+	// rt.rec, the full delegates slice, the steal ledgers — must be
+	// complete when the goroutine starts (the go statement is the
+	// happens-before edge).
+	rt.rec = rec
+	for _, d := range rec.delegates {
 		rt.wg.Add(1)
 		go rt.recLoop(d)
 	}
-	rt.rec = rec
 }
 
 // notify publishes lane `producer` as pending and wakes the delegate if it
@@ -276,6 +298,33 @@ func (d *recDelegate) notify(producer int) {
 		default:
 		}
 	}
+}
+
+// covSubscribe registers the calling producer as a coverage waiter and
+// returns the broadcast channel to park on. The order is load-bearing for
+// the lost-wakeup proof: the waiter count is raised BEFORE the caller
+// re-checks coverage, so a drain loop whose laneExec publish the re-check
+// missed is guaranteed to observe the waiter and rotate the channel
+// (sequentially-consistent atomics on both sides).
+func (d *recDelegate) covSubscribe() chan struct{} {
+	d.covWaiters.Add(1)
+	d.covMu.Lock()
+	ch := d.covCh
+	d.covMu.Unlock()
+	return ch
+}
+
+// covUnsubscribe deregisters a coverage waiter.
+func (d *recDelegate) covUnsubscribe() { d.covWaiters.Add(-1) }
+
+// covSignal wakes every parked coverage waiter by rotating the broadcast
+// channel. Called from this delegate's drain loop after a laneExec
+// publish, only when covWaiters is nonzero.
+func (d *recDelegate) covSignal() {
+	d.covMu.Lock()
+	close(d.covCh)
+	d.covCh = make(chan struct{})
+	d.covMu.Unlock()
 }
 
 // anyPending reports whether any lane bit is raised (the delegate's
@@ -488,6 +537,12 @@ func (rt *Runtime) drainLane(d *recDelegate, p int, lane *spsc.Lane[Invocation],
 		if le != nil {
 			base += uint64(n)
 			le.Store(base)
+			if d.covWaiters.Load() != 0 {
+				// A producer is parked in waitRecOutboundCoverage on this
+				// delegate's laneExec advancing; the store above may be the
+				// coverage it needs. One atomic load on the waiter-free path.
+				d.covSignal()
+			}
 		}
 		// Drop payload references so executed invocations don't pin their
 		// closures and payloads until the buffer is refilled.

@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -562,15 +561,16 @@ func (rt *Runtime) maybeSteal(set uint64, e *setEntry) {
 	}
 }
 
-// evacWaitSpins bounds the event-driven forced-evacuation wait: how many
-// Gosched-yielding re-checks of the per-set outbound ledger a producer
-// performs before falling back to retry-per-delegation. The bound exists
-// because the wait parks this delegate's drain loop: two delegates each
-// waiting on coverage only the other can publish would otherwise spin
-// forever — a hazard only a program already blocking mid-operation in two
-// places can construct, but one the engine must not convert from unlikely
-// to permanent.
-const evacWaitSpins = 4096
+// evacWaitBudget bounds the parked forced-evacuation wait: the total time a
+// producer stays subscribed to target delegates' coverage broadcasts before
+// falling back to retry-per-delegation. The bound exists because the wait
+// parks this delegate's drain loop: two delegates each waiting on coverage
+// only the other can publish would otherwise block forever — a hazard only a
+// program already blocking mid-operation in two places can construct, but
+// one the engine must not convert from unlikely to permanent. Generous
+// relative to a drain-run's latency (microseconds), tiny relative to the
+// serving tier's drain deadline.
+const evacWaitBudget = 50 * time.Millisecond
 
 // waitRecOutboundCoverage is the liveness half of the forced evacuation: a
 // set owned by its own producer's delegate must leave NOW — the delegation
@@ -594,13 +594,46 @@ func (rt *Runtime) waitRecOutboundCoverage(e *recSetEntry, v int) bool {
 	if e.outPos[v-1].Load() > rec.delegates[v-1].laneExec[v].Load() {
 		return false // self-lane traffic: waiting would deadlock v on itself
 	}
-	for spin := 0; spin < evacWaitSpins; spin++ {
-		if rt.recOutboundCovered(e, v) {
+	// Park on the target delegates' coverage broadcasts instead of
+	// Gosched-spinning: a draining server's forced evacuation must not burn
+	// a core while an overloaded peer works through the backlog. One
+	// subscription per uncovered target, re-checked between subscribe and
+	// park so a publish racing the subscription cannot be lost (the drain
+	// loop re-reads covWaiters AFTER its laneExec store; seq-cst atomics
+	// order waiter-Add < recheck-load on this side against exec-store <
+	// waiter-load on that side, so one of the two always observes the other).
+	var deadline *time.Timer
+	for {
+		target := -1
+		for dx := range e.outPos {
+			if e.outPos[dx].Load() > rec.delegates[dx].laneExec[v].Load() {
+				target = dx
+				break
+			}
+		}
+		if target < 0 {
+			if deadline != nil {
+				deadline.Stop()
+			}
 			return true
 		}
-		runtime.Gosched()
+		d := rec.delegates[target]
+		ch := d.covSubscribe()
+		if e.outPos[target].Load() <= d.laneExec[v].Load() {
+			d.covUnsubscribe() // covered while subscribing; move on
+			continue
+		}
+		if deadline == nil {
+			deadline = time.NewTimer(evacWaitBudget)
+		}
+		select {
+		case <-ch:
+			d.covUnsubscribe()
+		case <-deadline.C:
+			d.covUnsubscribe()
+			return false
+		}
 	}
-	return false
 }
 
 // notePosition records the just-enqueued operation's position against its
@@ -945,6 +978,7 @@ func (rt *Runtime) Stats() Stats {
 		st.Panics = fs.panics.Load()
 		st.PoisonedSets = fs.poisonedSets.Load()
 		st.DroppedOps = fs.dropped.Load()
+		st.DroppedFaults = fs.droppedRec.Load()
 	}
 	clk := rt.clock
 	clk.switchTo(clk.phase, &st) // charge the open span without mutating rt

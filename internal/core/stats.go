@@ -64,9 +64,13 @@ type Stats struct {
 	// poisoned by one (poisoning is epoch-scoped, the counter cumulative);
 	// DroppedOps counts delegations dropped because their set was poisoned
 	// — the deterministic skip of everything after a faulting position.
-	Panics       uint64
-	PoisonedSets uint64
-	DroppedOps   uint64
+	// DroppedFaults counts fault RECORDS evicted by the bounded retention
+	// ring (Config.FaultRecordBound) — nonzero means Err/SetErr describe
+	// only the most recent faults, while Panics still counts them all.
+	Panics        uint64
+	PoisonedSets  uint64
+	DroppedOps    uint64
+	DroppedFaults uint64
 
 	Aggregation time.Duration
 	Isolation   time.Duration

@@ -65,6 +65,37 @@ func (rt *Runtime) progressSum() uint64 {
 	return sum
 }
 
+// QueueDepths appends each delegate context's current backlog — method
+// invocations routed to it that have not finished executing — to dst and
+// returns the extended slice, one entry per delegate in context order.
+// Reads only published atomic counters, so it is safe from any goroutine
+// and allocation-free when dst has capacity: the serving tier samples it
+// on every metrics scrape. In recursive mode the per-delegate ledger only
+// exists under Stealing; without it the depths are reported as zero (the
+// engine tracks enqueue/execute sums globally, not per delegate).
+func (rt *Runtime) QueueDepths(dst []uint64) []uint64 {
+	if rec := rt.rec; rec != nil {
+		for _, d := range rec.delegates {
+			if d.laneExec == nil {
+				dst = append(dst, 0)
+				continue
+			}
+			dst = append(dst, rt.recOccupancy(d.id))
+		}
+		return dst
+	}
+	for _, d := range rt.delegates {
+		dst = append(dst, uint64(d.queue.Len()))
+	}
+	return dst
+}
+
+// DumpSchedState renders the scheduler ledgers — the watchdog's wedge
+// report, exported so a draining server can attach the same dump to its
+// straggler log when a drain deadline expires. Program context only: the
+// flat-mode report reads the program-private sent counters.
+func (rt *Runtime) DumpSchedState() string { return rt.dumpSchedState() }
+
 // dumpSchedState renders the scheduler ledgers for the watchdog report:
 // per-delegate queue depths and executed counters in flat mode; the
 // enqueued/executed quiescence ledger, per-lane sent/exec positions, and

@@ -3,12 +3,17 @@ package harness
 import (
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	prometheus "repro"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -336,7 +341,91 @@ func Ablation(w io.Writer, opts Options) error {
 			fmt.Sprintf("rec-skew p=%g", p), 1e3*elapsed.Seconds(),
 			st.Panics, st.PoisonedSets, st.DroppedOps, true)
 	}
+
+	fmt.Fprintf(w, "\nA8. serving tier (session-affinity router, skewed keys)\n")
+	// Concurrent clients drive the internal/serve router with a 90/10
+	// hot/cold key distribution — the adversarial shape for the stealing
+	// machinery, since the hot keys' sets all hash wherever they hash.
+	// The chaos row poisons one hot key mid-run: its requests must fail
+	// fast (500s with the fault attached) while every other key keeps
+	// serving, and the epoch rotation must heal it. A wedged drain would
+	// hang the table, so completing at all is part of the assertion.
+	fmt.Fprintf(w, "%-14s %10s %8s %8s %8s %8s %8s\n",
+		"workload", "ms", "served", "faulted", "rejects", "steals", "panics")
+	for _, chaosKeys := range []bool{false, true} {
+		name := "serve-skewed"
+		if chaosKeys {
+			name = "serve-chaos"
+		}
+		var res servingResult
+		elapsed := TimeBest(opts.Reps, func() { res = servingSkewed(chaosKeys) })
+		fmt.Fprintf(w, "%-14s %10.2f %8d %8d %8d %8d %8d\n",
+			name, 1e3*elapsed.Seconds(), res.served, res.faulted, res.rejects,
+			res.stats.Steals, res.stats.Panics)
+	}
 	return nil
+}
+
+type servingResult struct {
+	served, faulted, rejects uint64
+	stats                    prometheus.Stats
+}
+
+// servingSkewed drives the serving tier end to end: 8 concurrent clients,
+// 200 requests each, 90% on 4 hot session keys and 10% spread across 32
+// cold ones. With chaos on, one request poisons a hot key partway in.
+func servingSkewed(chaosKeys bool) servingResult {
+	srv, err := serve.New(serve.Config{
+		Delegates:     4,
+		EpochInterval: 5 * time.Millisecond,
+		Handler: func(s *serve.Session, r *http.Request) (int, string) {
+			if r.Header.Get("X-Chaos-Panic") == "1" {
+				panic("chaos: injected serving fault")
+			}
+			return http.StatusOK, fmt.Sprintf("%d", s.Seq)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	h := srv.Handler()
+	var res servingResult
+	var served, faulted, rejects atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("hot-%d", i%4)
+				if i%10 == 9 {
+					key = fmt.Sprintf("cold-%d-%d", c, i%32)
+				}
+				r := httptest.NewRequest("GET", "/bump", nil)
+				r.Header.Set("X-Session-Key", key)
+				if chaosKeys && c == 0 && i == 50 {
+					r.Header.Set("X-Chaos-Panic", "1")
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, r)
+				switch rec.Code {
+				case http.StatusOK:
+					served.Add(1)
+				case http.StatusInternalServerError:
+					faulted.Add(1)
+				default:
+					rejects.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := srv.Drain(); err != nil {
+		panic(err)
+	}
+	res.served, res.faulted, res.rejects = served.Load(), faulted.Load(), rejects.Load()
+	res.stats = srv.Stats()
+	return res
 }
 
 // chaosOpt arms the runtime's fault-injection seam with a fresh seeded

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	prometheus "repro"
+)
+
+// Handler returns the server's HTTP surface: every path serves requests
+// through the session-affinity router except /metrics (Prometheus text
+// exposition) and /healthz (503 while draining, 200 otherwise).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/", s)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// ServeHTTP is the request path: admission gates on the handler
+// goroutine (cheap rejects that never touch the router), then one bounded
+// channel send and one channel wait. The gates run in rejection-cost
+// order — inflight budget, token bucket, poison check — so overload is
+// repelled before per-key state is consulted.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Admission handshake: raise inflight BEFORE loading the draining
+	// flag, mirroring drainRouter's store-then-wait (see its comment for
+	// the ordering argument). Every exit path decrements.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		s.metrics.admissionRejects.Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.inflight.Load() > int64(s.cfg.MaxInflight) {
+		s.metrics.admissionRejects.Add(1)
+		http.Error(w, "over capacity", http.StatusServiceUnavailable)
+		return
+	}
+
+	key := s.cfg.KeyFunc(r)
+	set := prometheus.StringSet(key)
+
+	if s.limiter != nil && !s.limiter.allow(set) {
+		s.metrics.rateRejects.Add(1)
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+
+	if s.rt.Poisoned(set) {
+		// Fast path: the key faulted earlier this epoch. Fail with the
+		// fault attached, without a round trip through the router.
+		s.metrics.poisonRejects.Add(1)
+		s.failPoisoned(w, key, set)
+		return
+	}
+
+	j := &job{key: key, set: set, r: r, done: make(chan struct{}), start: time.Now()}
+	s.metrics.depth.Observe(int64(len(s.jobs)))
+	select {
+	case s.jobs <- j:
+	default:
+		// Backpressure: the router is behind (or parked on a rotation
+		// barrier). Reject rather than buffer without bound.
+		s.metrics.admissionRejects.Add(1)
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+		return
+	}
+	<-j.done
+
+	lat := time.Since(j.start)
+	s.metrics.observe(set, lat)
+	switch j.outcome.Load() {
+	case outcomeServed:
+		s.metrics.served.Add(1)
+		w.WriteHeader(j.status)
+		fmt.Fprint(w, j.body)
+	case outcomeFaulted:
+		// This request's own operation panicked. The engine records the
+		// fault just after our deferred finish ran, so give the record a
+		// moment to land before attaching it.
+		s.metrics.faultResponses.Add(1)
+		s.failFaulted(w, key, set)
+	default: // outcomeDropped
+		// The key was poisoned before this request's operation could run;
+		// the operation was deterministically dropped (router fast path or
+		// engine seam + epoch sweep).
+		s.metrics.faultResponses.Add(1)
+		s.failPoisoned(w, key, set)
+	}
+}
+
+// failPoisoned writes the 500 for a request rejected or dropped because
+// its key's set is poisoned, attaching the fault that poisoned it.
+func (s *Server) failPoisoned(w http.ResponseWriter, key string, set uint64) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	fmt.Fprintf(w, "key %q is poisoned for the current epoch; request dropped\n", key)
+	if err := s.rt.SetErr(set); err != nil {
+		fmt.Fprintf(w, "fault: %v\n", err)
+	}
+}
+
+// failFaulted writes the 500 for the request whose own operation
+// panicked. The fault record is written by the engine's containment
+// handler, which runs AFTER the job's deferred finish woke this
+// goroutine — a bounded wait bridges that gap so the response carries the
+// fault detail instead of racing it.
+func (s *Server) failFaulted(w http.ResponseWriter, key string, set uint64) {
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = s.rt.SetErr(set); err != nil {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	fmt.Fprintf(w, "request for key %q panicked; key poisoned for the current epoch\n", key)
+	if err != nil {
+		fmt.Fprintf(w, "fault: %v\n", err)
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	prometheus "repro"
+)
+
+// latencyBounds are the request-latency bucket upper bounds in
+// microseconds: sub-millisecond resolution where a delegated handler
+// normally lands, decade coverage up to 1s for rotation-barrier and
+// overload tails.
+var latencyBounds = []int64{
+	50, 100, 250, 500, 1000, 2500, 5000, 10000,
+	25000, 50000, 100000, 250000, 500000, 1000000,
+}
+
+// depthBounds bucket the jobs-channel occupancy observed at admission —
+// the serving tier's queue-depth distribution, the early-warning signal
+// that the router (or a rotation barrier) is falling behind.
+var depthBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+
+// metrics is the serving tier's metric set. Hot-path updates (observe,
+// the counters) are single atomic operations on pre-allocated
+// histograms — zero allocations per request. Latency is sharded by
+// serialization set (set mod shards), bounding exposition cardinality
+// under unbounded request keys while keeping skew visible: a hot key
+// concentrates in one shard's histogram.
+type metrics struct {
+	latency []*prometheus.Histogram // per set-shard, microseconds
+	depth   *prometheus.Histogram   // jobs-channel occupancy at admission
+
+	served           atomic.Uint64 // requests answered by their handler
+	droppedJobs      atomic.Uint64 // jobs resolved dropped (poison fast path or epoch sweep)
+	admissionRejects atomic.Uint64 // 503s: inflight budget, queue full, draining
+	rateRejects      atomic.Uint64 // 429s: per-set token bucket
+	poisonRejects    atomic.Uint64 // fast-path 500s: key already poisoned at admission
+	faultResponses   atomic.Uint64 // 500s after delegation: faulted or dropped
+}
+
+func newMetrics(shards int) *metrics {
+	m := &metrics{
+		latency: make([]*prometheus.Histogram, shards),
+		depth:   prometheus.NewHistogram(depthBounds...),
+	}
+	for i := range m.latency {
+		m.latency[i] = prometheus.NewHistogram(latencyBounds...)
+	}
+	return m
+}
+
+// observe records one answered request's latency under its set's shard.
+func (m *metrics) observe(set uint64, lat time.Duration) {
+	m.latency[set%uint64(len(m.latency))].Observe(lat.Microseconds())
+}
+
+// handleMetrics renders the Prometheus text exposition format by hand
+// (text/plain; version 0.0.4) — counters, per-shard latency histograms
+// with quantile estimates, the queue-depth histogram, per-delegate
+// backlog gauges, and the engine counters from the last epoch-rotation
+// snapshot. Scrape-path cost is irrelevant; only Observe is hot.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.metrics
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("ss_requests_served_total", "Requests answered by their handler.", m.served.Load())
+	counter("ss_requests_dropped_total", "Requests resolved dropped on a poisoned set.", m.droppedJobs.Load())
+	counter("ss_admission_rejects_total", "Requests rejected 503 at admission (budget, queue, draining).", m.admissionRejects.Load())
+	counter("ss_ratelimit_rejects_total", "Requests rejected 429 by the per-set token bucket.", m.rateRejects.Load())
+	counter("ss_poisoned_rejects_total", "Requests rejected 500 at admission on an already-poisoned key.", m.poisonRejects.Load())
+	counter("ss_fault_responses_total", "Requests answered 500 after delegation (faulted or dropped).", m.faultResponses.Load())
+
+	histogram := func(name, help, labels string, h *prometheus.Histogram) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		brace := func(extra string) string {
+			switch {
+			case labels == "" && extra == "":
+				return ""
+			case labels == "":
+				return "{" + extra + "}"
+			case extra == "":
+				return "{" + labels + "}"
+			default:
+				return "{" + labels + "," + extra + "}"
+			}
+		}
+		bounds := h.Bounds()
+		counts := h.Buckets(make([]uint64, 0, len(bounds)+1))
+		var cum uint64
+		for i, bound := range bounds {
+			cum += counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, brace(fmt.Sprintf("le=%q", fmt.Sprint(bound))), cum)
+		}
+		cum += counts[len(bounds)]
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", name, brace(`le="+Inf"`), cum)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", name, brace(""), h.Sum())
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, brace(""), cum)
+		for _, q := range [...]float64{0.5, 0.9, 0.99} {
+			fmt.Fprintf(&b, "%s_quantile%s %.1f\n", name, brace(fmt.Sprintf("q=\"%g\"", q)), h.Quantile(q))
+		}
+	}
+	for i, h := range m.latency {
+		histogram("ss_request_latency_microseconds",
+			"Request latency from admission to response decision, by set shard.",
+			fmt.Sprintf("shard=\"%d\"", i), h)
+	}
+	histogram("ss_jobs_queue_depth", "Router jobs-channel occupancy observed at admission.", "", m.depth)
+
+	fmt.Fprintf(&b, "# HELP ss_delegate_backlog Outstanding operations per delegate context.\n# TYPE ss_delegate_backlog gauge\n")
+	for i, d := range s.rt.QueueDepths(make([]uint64, 0, 16)) {
+		fmt.Fprintf(&b, "ss_delegate_backlog{delegate=\"%d\"} %d\n", i+1, d)
+	}
+
+	st := s.Stats()
+	counter("ss_runtime_panics_total", "Delegated-operation panics contained by the engine.", st.Panics)
+	counter("ss_runtime_poisoned_sets_total", "Serialization sets ever poisoned by a contained panic.", st.PoisonedSets)
+	counter("ss_runtime_dropped_ops_total", "Delegations dropped on poisoned sets by the engine.", st.DroppedOps)
+	counter("ss_runtime_dropped_faults_total", "Fault records evicted by the bounded retention ring.", st.DroppedFaults)
+	counter("ss_runtime_steals_total", "Whole-set handoffs by the occupancy-aware rebalancer.", st.Steals)
+	counter("ss_runtime_epochs_total", "Isolation epochs begun (the rotation cadence).", st.Epochs)
+	counter("ss_runtime_delegations_total", "Operations delegated to the pool.", st.Delegations)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is the per-set token-bucket rate limiter: each serialization
+// set (request key) owns an independent bucket, so one hot key exhausts
+// its own budget without starving siblings — the rate-limit analogue of
+// the router's per-key serialization. Buckets refill lazily on access
+// (no background goroutine) and live in a lock-sharded map: the request
+// path takes exactly one shard mutex, and keys only collide on a shard
+// lock, never on a bucket.
+type limiter struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	shards [limiterShards]limiterShard
+}
+
+const limiterShards = 16
+
+type limiterShard struct {
+	mu      sync.Mutex
+	buckets map[uint64]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate, burst float64) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	l := &limiter{rate: rate, burst: burst}
+	for i := range l.shards {
+		l.shards[i].buckets = make(map[uint64]*bucket)
+	}
+	return l
+}
+
+// allow consumes one token from set's bucket, reporting whether the
+// request may proceed. A new key starts with a full bucket.
+func (l *limiter) allow(set uint64) bool {
+	sh := &l.shards[set%limiterShards]
+	now := time.Now()
+	sh.mu.Lock()
+	b := sh.buckets[set]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		sh.buckets[set] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	sh.mu.Unlock()
+	return ok
+}

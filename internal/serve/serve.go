@@ -1,0 +1,409 @@
+// Package serve is the serving tier: serialization sets as a
+// session-affinity request router. Every request carries a key (user id,
+// session, tenant); the key hashes to a serialization set; the handler for
+// the request is delegated to that set. The model then gives the serving
+// property for free: requests for one key execute in arrival order on one
+// delegate at a time — per-key causal order with no per-session locks —
+// while requests for different keys run concurrently across the delegate
+// pool, rebalanced by the occupancy-aware whole-set stealer when the key
+// distribution skews. A request that panics is contained by the engine:
+// its key's set is poisoned for the rest of the isolation epoch (those
+// requests fail fast with the fault attached) and every other key keeps
+// serving.
+//
+// The router goroutine owns the runtime — it is the program context, the
+// only goroutine that calls Runtime methods other than the any-goroutine
+// query surface (Poisoned, SetErr, QueueDepths, Stats snapshots). HTTP
+// handler goroutines talk to it through one bounded jobs channel and wait
+// on a per-job done channel:
+//
+//	handler goroutine             router (program ctx)          delegate
+//	  admission / rate gates
+//	  jobs <- job ───────────────▶ DelegateTo(set, run) ───────▶ handler fn
+//	  <-job.done ◀──────────────────────────────────────────────  finish
+//
+// Request lifecycle around faults. The delegated closure finishes the job
+// from a deferred call, so a panicking handler still completes its own
+// request (defers run during unwinding, before the engine's containment
+// recover). A delegation raced by a poison landing between the router's
+// check and the drain seam is dropped-but-counted by the engine and its
+// done channel would never close; the router sweeps those at the next
+// epoch rotation — after the EndIsolation barrier, every job the epoch
+// delegated has either finished or was deterministically dropped, so the
+// sweep is exact, not heuristic.
+//
+// Epochs rotate on a timer. Rotation is the serving tier's repair loop:
+// the barrier proves the pool quiescent, dropped jobs are swept, the
+// stats snapshot is republished, and BeginIsolation clears the poison
+// table so a faulted key starts serving again (its fault records remain
+// queryable). The rotation barrier briefly parks the router, so admission
+// backpressure (bounded jobs channel, inflight budget) is what bounds the
+// latency blip: everything accepted before the barrier is already in
+// delegate queues, which the barrier itself drains.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	prometheus "repro"
+)
+
+// Session is the per-key state a handler mutates. All access happens
+// inside delegated operations of the key's serialization set, so handlers
+// never lock it: per-set program order is the mutual exclusion, and the
+// delegation queues carry the happens-before edges between requests.
+type Session struct {
+	Key string // the request key this session serves
+	Set uint64 // the serialization set the key hashed to
+	Seq uint64 // requests executed on this session (incremented before the handler runs)
+
+	// Data is scratch state for handlers (a tiny per-key KV).
+	Data map[string]string
+}
+
+// Handler executes one request against its key's session, on a delegate
+// context. It must not retain s or r beyond the call, must not call
+// Runtime methods, and may panic: a panic is contained by the engine,
+// fails this request with the fault attached, and poisons the key for the
+// rest of the epoch while every other key keeps serving.
+type Handler func(s *Session, r *http.Request) (status int, body string)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Delegates sets the runtime's delegate-context pool size
+	// (default GOMAXPROCS-1, the runtime's own default).
+	Delegates int
+	// Shards sets the latency-metric shard count: a key's set is metered
+	// under shard set%Shards, bounding metric cardinality under unbounded
+	// keys. Default 8.
+	Shards int
+	// MaxInflight is the admission budget: requests admitted past the
+	// gates and not yet answered. Above it requests are rejected with 503
+	// before touching the runtime. Default 1024.
+	MaxInflight int
+	// QueueDepth bounds the handler→router jobs channel; a full channel
+	// rejects with 503 (backpressure, never unbounded buffering).
+	// Default MaxInflight.
+	QueueDepth int
+	// Rate and Burst configure the per-set token bucket, in
+	// requests/second and requests. Rate 0 disables rate limiting.
+	Rate  float64
+	Burst float64
+	// EpochInterval is the rotation period — the poison-repair and
+	// dropped-job-sweep cadence. Default 100ms.
+	EpochInterval time.Duration
+	// DrainTimeout bounds Drain: how long to wait for inflight requests
+	// before logging a straggler report (with the scheduler dump) and
+	// terminating anyway. Default 5s.
+	DrainTimeout time.Duration
+	// Handler executes requests; required.
+	Handler Handler
+	// KeyFunc extracts the request key. Default: header "X-Session-Key",
+	// else query parameter "key", else the client address.
+	KeyFunc func(r *http.Request) string
+	// Logf receives drain and straggler reports. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() error {
+	if c.Handler == nil {
+		return fmt.Errorf("serve: Config.Handler is required")
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = c.MaxInflight
+	}
+	if c.EpochInterval <= 0 {
+		c.EpochInterval = 100 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.KeyFunc == nil {
+		c.KeyFunc = defaultKey
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+func defaultKey(r *http.Request) string {
+	if k := r.Header.Get("X-Session-Key"); k != "" {
+		return k
+	}
+	if k := r.URL.Query().Get("key"); k != "" {
+		return k
+	}
+	return r.RemoteAddr
+}
+
+// Job outcomes, CAS-guarded: exactly one of the delegated closure's
+// deferred finish, the router's poisoned-fast-path finish, and the epoch
+// sweep wins, and the winner closes done.
+const (
+	outcomePending uint32 = iota
+	outcomeServed         // handler ran (status/body are valid)
+	outcomeFaulted        // handler panicked; fault contained, set poisoned
+	outcomeDropped        // delegation dropped on a poisoned set (router fast path or engine seam + sweep)
+)
+
+type job struct {
+	key     string
+	set     uint64
+	r       *http.Request
+	status  int
+	body    string
+	outcome atomic.Uint32
+	done    chan struct{}
+	start   time.Time
+}
+
+// finish resolves the job to outcome o exactly once; the winning caller
+// closes done and wakes the handler goroutine.
+func (j *job) finish(o uint32) bool {
+	if j.outcome.CompareAndSwap(outcomePending, o) {
+		close(j.done)
+		return true
+	}
+	return false
+}
+
+// Server is the serving tier instance. Create with New, expose Handler()
+// on an http.Server, stop with Drain.
+type Server struct {
+	cfg     Config
+	metrics *metrics
+	limiter *limiter
+
+	jobs     chan *job
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	// Router-private state (program context only).
+	rt        *prometheus.Runtime
+	w         *prometheus.Writable[routerState]
+	sessions  map[uint64]*Session
+	epochJobs []*job
+
+	// statsSnap republishes the router's Stats() snapshot at each
+	// rotation so the any-goroutine metrics scrape never calls Stats
+	// itself (Stats reads program-private counters).
+	statsSnap atomic.Pointer[prometheus.Stats]
+
+	drainCh  chan chan struct{}
+	routerWG chan struct{}
+}
+
+// routerState is the Writable payload. Per-key state lives in Session
+// objects the router threads through delegated closures; the wrapper
+// exists to address the delegation API, so its object is empty.
+type routerState struct{}
+
+// New validates cfg, starts the router goroutine (which owns the runtime:
+// the goroutine that calls Init is the program context), and returns once
+// the first isolation epoch is open and the server is accepting work.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetrics(cfg.Shards),
+		jobs:     make(chan *job, cfg.QueueDepth),
+		sessions: make(map[uint64]*Session),
+		drainCh:  make(chan chan struct{}),
+		routerWG: make(chan struct{}),
+	}
+	if cfg.Rate > 0 {
+		s.limiter = newLimiter(cfg.Rate, cfg.Burst)
+	}
+	ready := make(chan struct{})
+	go s.router(ready)
+	<-ready
+	return s, nil
+}
+
+// router is the program context: it creates the runtime, keeps an
+// isolation epoch open, delegates jobs, rotates epochs on a timer, and
+// performs the final drain. It is the only goroutine that calls Runtime
+// methods outside the documented any-goroutine query surface.
+func (s *Server) router(ready chan struct{}) {
+	defer close(s.routerWG)
+	opts := []prometheus.Option{
+		prometheus.WithPolicy(prometheus.LeastLoaded),
+		prometheus.WithStealing(),
+		// Delegation batching is off: the batch buffer flushes on the
+		// program context's NEXT runtime call, and this router parks in a
+		// select between deliveries — a buffered tail would strand its
+		// requests (handlers waiting on done channels) until the next
+		// rotation. The jobs channel already amortizes the handoff.
+		prometheus.WithDelegateBatch(1),
+	}
+	if s.cfg.Delegates > 0 {
+		opts = append(opts, prometheus.WithDelegates(s.cfg.Delegates))
+	}
+	s.rt = prometheus.Init(opts...)
+	s.w = prometheus.NewWritableSer(s.rt, routerState{}, prometheus.NullSerializer[routerState]())
+	s.rt.BeginIsolation()
+	st := s.rt.Stats()
+	s.statsSnap.Store(&st)
+	close(ready)
+
+	tick := time.NewTicker(s.cfg.EpochInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.deliver(j)
+		case <-tick.C:
+			s.rotate()
+		case ack := <-s.drainCh:
+			s.drainRouter()
+			close(ack)
+			return
+		}
+	}
+}
+
+// deliver routes one job: poisoned fast path, session lookup, delegation.
+// Program context only.
+func (s *Server) deliver(j *job) {
+	if s.rt.Poisoned(j.set) {
+		// The epoch's poison landed before this job was delegated: fail it
+		// now instead of paying the delegation just to drop it at a seam.
+		if j.finish(outcomeDropped) {
+			s.metrics.droppedJobs.Add(1)
+		}
+		return
+	}
+	sess := s.sessions[j.set]
+	if sess == nil {
+		sess = &Session{Key: j.key, Set: j.set, Data: make(map[string]string)}
+		s.sessions[j.set] = sess
+	}
+	s.epochJobs = append(s.epochJobs, j)
+	handler := s.cfg.Handler
+	s.w.DelegateTo(j.set, func(_ *prometheus.Ctx, _ *routerState) {
+		served := false
+		// The deferred finish runs during panic unwinding BEFORE the
+		// engine's containment recover, so a faulting request still
+		// completes (as outcomeFaulted) and the panic still reaches the
+		// engine to be recorded and to poison the set.
+		defer func() {
+			if served {
+				j.finish(outcomeServed)
+			} else {
+				j.finish(outcomeFaulted)
+			}
+		}()
+		sess.Seq++
+		j.status, j.body = handler(sess, j.r)
+		served = true
+	})
+}
+
+// rotate closes the epoch and opens the next: the barrier proves the pool
+// quiescent, the sweep resolves jobs whose delegations were dropped on a
+// poison seam (their done channels would otherwise never close), the
+// stats snapshot republishes, and BeginIsolation clears the poison table
+// so faulted keys resume serving. Program context only.
+func (s *Server) rotate() {
+	s.rt.EndIsolation()
+	for _, j := range s.epochJobs {
+		if j.finish(outcomeDropped) {
+			s.metrics.droppedJobs.Add(1)
+		}
+	}
+	s.epochJobs = s.epochJobs[:0]
+	st := s.rt.Stats()
+	s.statsSnap.Store(&st)
+	s.rt.BeginIsolation()
+}
+
+// drainRouter is the router's shutdown path: keep serving until every
+// admitted request is answered (admission is already closed, so inflight
+// only shrinks), then barrier, sweep, and terminate. The admission
+// handshake makes the inflight wait sound: a handler that passed the
+// draining check raised the inflight counter BEFORE loading the flag
+// (sequentially-consistent order: its Add precedes its false Load, which
+// precedes Drain's Store, which precedes every Load below), so no request
+// can slip in behind an observed zero. If stragglers outlast
+// Config.DrainTimeout their count and the scheduler-ledger dump are
+// logged — the dump reads program-private counters, which is why this
+// wait runs on the router and not in Drain — and the wait then CONTINUES:
+// abandoning it would drop accepted requests, the one thing drain exists
+// to prevent. A handler operation that never returns therefore wedges the
+// drain (as it would wedge the shutdown barrier); the straggler report is
+// the diagnosis, and the Watchdog option turns the wedge itself into one.
+func (s *Server) drainRouter() {
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	warned := false
+	tick := time.NewTicker(s.cfg.EpochInterval)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		if !warned && time.Now().After(deadline) {
+			warned = true
+			s.cfg.Logf("serve: drain timeout: %d requests still inflight\n%s",
+				s.inflight.Load(), s.rt.SchedDump())
+		}
+		select {
+		case j := <-s.jobs:
+			s.deliver(j)
+		case <-tick.C:
+			// Keep rotating while waiting: the epoch sweep is what resolves
+			// jobs whose delegations were dropped on a poison seam, and a
+			// handler parked on one of those counts as inflight.
+			s.rotate()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	for {
+		select {
+		case j := <-s.jobs:
+			s.deliver(j)
+			continue
+		default:
+		}
+		break
+	}
+	s.rt.EndIsolation()
+	for _, j := range s.epochJobs {
+		if j.finish(outcomeDropped) {
+			s.metrics.droppedJobs.Add(1)
+		}
+	}
+	s.epochJobs = nil
+	st := s.rt.Stats()
+	s.statsSnap.Store(&st)
+	s.rt.Terminate()
+}
+
+// Drain gracefully stops the server: admission closes (new requests get
+// 503), every admitted request is served to completion, the router runs
+// its final barrier — sweeping any poison-dropped jobs — and terminates
+// the runtime. Call after the HTTP listener has stopped accepting new
+// connections; call once.
+func (s *Server) Drain() error {
+	s.draining.Store(true)
+	ack := make(chan struct{})
+	s.drainCh <- ack
+	<-ack
+	<-s.routerWG
+	if n := s.inflight.Load(); n > 0 {
+		return fmt.Errorf("serve: drained with %d requests unanswered", n)
+	}
+	return nil
+}
+
+// Stats returns the most recent epoch-rotation snapshot of the runtime
+// counters. Safe from any goroutine.
+func (s *Server) Stats() prometheus.Stats { return *s.statsSnap.Load() }

@@ -139,6 +139,14 @@ func WithStealing() Option { return func(c *core.Config) { c.Stealing = true } }
 // transient pipelining. Ignored without WithStealing.
 func WithStealThreshold(n int) Option { return func(c *core.Config) { c.StealThreshold = n } }
 
+// WithFaultRecordBound caps how many contained-panic records the runtime
+// retains for Err/SetErr (default core.DefaultFaultRecordBound). Once the
+// bound is reached the oldest record is evicted and Stats.DroppedFaults
+// counts it; the Panics counter and set poisoning are unaffected. A
+// long-lived serving runtime needs the bound — without it every contained
+// panic pins its captured stack forever.
+func WithFaultRecordBound(n int) Option { return func(c *core.Config) { c.FaultRecordBound = n } }
+
 // Sequential builds the runtime in the paper's debug mode (§3.3): all
 // delegations execute inline, in program order, with checks still active.
 func Sequential() Option { return func(c *core.Config) { c.Sequential = true } }
@@ -250,19 +258,35 @@ const NoSet = core.NoSet
 // contained panic poisons the faulting operation's serialization set for
 // the rest of its isolation epoch — the set executed exactly its prefix up
 // to the fault, everything after was deterministically dropped — so Err is
-// how a program that survived an epoch finds out it did not finish it.
-// Program context.
+// how a program that survived an epoch finds out it did not finish it. Only
+// the most recent WithFaultRecordBound faults are retained; Stats.DroppedFaults
+// counts evictions. Safe from any goroutine.
 func (rt *Runtime) Err() error { return joinFaults(rt.core.Faults()) }
 
 // SetErr reports the contained panics recorded against one serialization
-// set, aggregated like Err. Nil when the set never faulted. Program
-// context.
+// set, aggregated like Err. Nil when the set never faulted. O(faults on
+// that set), and safe from any goroutine — the serving tier calls it from
+// handler goroutines to attach fault detail to 500 responses.
 func (rt *Runtime) SetErr(set uint64) error { return joinFaults(rt.core.SetFaults(set)) }
 
 // Poisoned reports whether the set is poisoned in the current isolation
 // epoch (delegations to it are being dropped). Poisoning clears at the
 // next BeginIsolation; fault records — and therefore Err/SetErr — do not.
+// Lock-free and safe from any goroutine.
 func (rt *Runtime) Poisoned(set uint64) bool { return rt.core.Poisoned(set) }
+
+// QueueDepths appends each delegate context's current backlog (operations
+// routed to it that have not finished executing) to dst and returns the
+// extended slice, one entry per delegate. Safe from any goroutine and
+// allocation-free when dst has capacity — the serving tier samples it on
+// every metrics scrape to feed its queue-depth histograms.
+func (rt *Runtime) QueueDepths(dst []uint64) []uint64 { return rt.core.QueueDepths(dst) }
+
+// SchedDump renders the engine's scheduler ledgers — per-delegate queue
+// depths and executed counters — as a human-readable report, the same dump
+// the barrier watchdog attaches to a wedge panic. A draining server logs it
+// when its drain deadline expires to identify stragglers. Program context.
+func (rt *Runtime) SchedDump() string { return rt.core.DumpSchedState() }
 
 // joinFaults renders engine fault records as the public error surface.
 // The records arrive in containment order, which concurrent faults on
@@ -284,6 +308,131 @@ func joinFaults(faults []core.PanicFault) error {
 		errs[i] = &Error{Kind: ErrPanic, Msg: pe.Error(), Err: pe}
 	}
 	return errors.Join(errs...)
+}
+
+// Histogram is a fixed-bucket histogram over int64 samples with lock-free
+// atomic counters — the serving tier's latency and queue-depth metric
+// primitive. Observe is safe from any goroutine, zero-allocation, and O(
+// buckets) with no locks or compare-and-swap loops, so it sits on the
+// request hot path; readers (Quantile, Buckets, Count) take a per-bucket
+// snapshot that may be slightly torn against concurrent writers — fine for
+// monitoring, which is the only intended reader. The sample unit is the
+// caller's choice (the serving tier records microseconds); bucket bounds
+// are fixed at construction, which is what keeps the write path free of
+// resizing coordination.
+type Histogram struct {
+	bounds []int64         // ascending upper bounds, one per counted bucket
+	counts []atomic.Uint64 // len(bounds)+1: bounds buckets plus overflow
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given strictly-ascending bucket
+// upper bounds (a sample v lands in the first bucket with v <= bound, or in
+// the implicit overflow bucket). Panics on unsorted or empty bounds — the
+// construction-time check that keeps Observe check-free.
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("prometheus: NewHistogram: no bucket bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("prometheus: NewHistogram: bucket bounds must be strictly ascending")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample. Zero allocations, no locks; safe from any
+// goroutine. The linear bucket scan beats binary search at monitoring
+// bucket counts (~10–20): latencies cluster in the low buckets, so the
+// scan usually ends within a cache line.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of samples observed.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bounds returns the bucket upper bounds. Read-only: the slice is the
+// histogram's own, shared to keep the metrics exposition path
+// allocation-free.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Buckets appends the per-bucket sample counts (len(Bounds())+1 entries,
+// the last being the overflow bucket) to dst and returns the extended
+// slice. Allocation-free when dst has capacity.
+func (h *Histogram) Buckets(dst []uint64) []uint64 {
+	for i := range h.counts {
+		dst = append(dst, h.counts[i].Load())
+	}
+	return dst
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket containing the target rank, the standard fixed-bucket
+// estimate. Samples in the overflow bucket are attributed to the highest
+// bound — the estimate saturates there rather than extrapolating. Returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Snapshot once so total and the walk agree with each other even while
+	// writers race the read.
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(counts)-1 {
+			if i >= len(h.bounds) {
+				return float64(h.bounds[len(h.bounds)-1])
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(h.bounds[i])
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return float64(h.bounds[len(h.bounds)-1])
 }
 
 // nextInstance issues wrapper instance numbers (the sequence serializer's

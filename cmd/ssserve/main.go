@@ -30,9 +30,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/serve"
 )
 
@@ -46,20 +49,63 @@ func main() {
 		burst         = flag.Float64("burst", 10, "per-key token-bucket burst")
 		epochInterval = flag.Duration("epoch-interval", 100*time.Millisecond, "isolation-epoch rotation period")
 		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain straggler deadline")
+
+		// Robustness layer.
+		reqTimeout    = flag.Duration("request-timeout", 0, "per-request budget, fixed at admission (0 = no deadlines)")
+		retries       = flag.Int("retries", 0, "max retry attempts for idempotent requests")
+		retryBase     = flag.Duration("retry-base", 2*time.Millisecond, "retry backoff base (doubles per attempt, jittered)")
+		slowThreshold = flag.Duration("slow-threshold", 0, "slow-key watchdog service-time threshold (0 = off)")
+		slowTrips     = flag.Int("slow-trips", 3, "consecutive slow services that degrade a key")
+		backends      = flag.String("backends", "", "comma-separated upstream base URLs; requests proxy to a breaker-gated pool instead of the in-process handler")
+		breakerThresh = flag.Int("breaker-threshold", 5, "consecutive failures that open a backend's breaker")
+		breakerCool   = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe")
+
+		// Chaos injection (deterministic; for harness runs, not production).
+		flakyBackend  = flag.Bool("flaky-backend", false, "serve from a 2-backend in-process pool whose second member carries the chaos profile below")
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "chaos determinism seed")
+		chaosErrRate  = flag.Float64("chaos-error-rate", 0, "seeded per-op backend error probability on the flaky backend")
+		chaosSpikeN   = flag.Int("chaos-spike-every", 0, "inject a latency spike every Nth op per key on the flaky backend (0 = off)")
+		chaosSpike    = flag.Duration("chaos-spike", 200*time.Millisecond, "latency-spike duration")
+		chaosFlap     = flag.String("chaos-flap", "", "flap window FROM:TO in flaky-backend op counts, e.g. 100:160 (hard-down between them)")
 	)
 	flag.Parse()
 
-	srv, err := serve.New(serve.Config{
-		Delegates:     *delegates,
-		Shards:        *shards,
-		MaxInflight:   *maxInflight,
-		Rate:          *rate,
-		Burst:         *burst,
-		EpochInterval: *epochInterval,
-		DrainTimeout:  *drainTimeout,
-		Handler:       handle,
-		Logf:          log.Printf,
+	backend, err := buildBackend(buildOpts{
+		upstreams:     *backends,
+		flaky:         *flakyBackend,
+		breakerThresh: *breakerThresh,
+		breakerCool:   *breakerCool,
+		seed:          *chaosSeed,
+		errRate:       *chaosErrRate,
+		spikeEvery:    *chaosSpikeN,
+		spike:         *chaosSpike,
+		flap:          *chaosFlap,
 	})
+	if err != nil {
+		log.Fatalf("ssserve: %v", err)
+	}
+
+	cfg := serve.Config{
+		Delegates:      *delegates,
+		Shards:         *shards,
+		MaxInflight:    *maxInflight,
+		Rate:           *rate,
+		Burst:          *burst,
+		EpochInterval:  *epochInterval,
+		DrainTimeout:   *drainTimeout,
+		RequestTimeout: *reqTimeout,
+		RetryMax:       *retries,
+		RetryBase:      *retryBase,
+		SlowThreshold:  *slowThreshold,
+		SlowTrips:      *slowTrips,
+		Logf:           log.Printf,
+	}
+	if backend != nil {
+		cfg.Backend = backend
+	} else {
+		cfg.Handler = handle
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +137,80 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("ssserve: drained cleanly")
+}
+
+type buildOpts struct {
+	upstreams     string
+	flaky         bool
+	breakerThresh int
+	breakerCool   time.Duration
+	seed          uint64
+	errRate       float64
+	spikeEvery    int
+	spike         time.Duration
+	flap          string
+}
+
+// buildBackend translates the backend/chaos flags into a serve.Backend:
+// nil (plain in-process handler), a breaker-gated pool of HTTP
+// upstreams, or the two-member in-process pool whose second backend
+// carries the chaos profile — the shape the loadgen smoke job boots.
+func buildBackend(o buildOpts) (serve.Backend, error) {
+	if o.upstreams != "" && o.flaky {
+		return nil, fmt.Errorf("-backends and -flaky-backend are mutually exclusive")
+	}
+	switch {
+	case o.upstreams != "":
+		var members []serve.Backend
+		for i, u := range strings.Split(o.upstreams, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			hb, err := serve.NewHTTPBackend(fmt.Sprintf("upstream-%d", i), u, nil)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, hb)
+		}
+		if len(members) == 0 {
+			return nil, fmt.Errorf("-backends given but no usable URLs")
+		}
+		return serve.NewPool(o.breakerThresh, o.breakerCool, members...), nil
+	case o.flaky:
+		flaky := &serve.ChaosBackend{Inner: serve.NewHandlerBackend("flaky", handle)}
+		if o.errRate > 0 {
+			flaky.Errors = chaos.SeededErrors(o.seed, o.errRate)
+		}
+		if o.spikeEvery > 0 {
+			flaky.Latency = chaos.SpikeEvery(uint64(o.spikeEvery), o.spike)
+		}
+		if o.flap != "" {
+			from, to, err := parseFlap(o.flap)
+			if err != nil {
+				return nil, err
+			}
+			flaky.Flap = chaos.FlapBetween(from, to)
+		}
+		return serve.NewPool(o.breakerThresh, o.breakerCool,
+			serve.NewHandlerBackend("steady", handle), flaky), nil
+	default:
+		return nil, nil
+	}
+}
+
+func parseFlap(s string) (from, to uint64, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-chaos-flap %q: want FROM:TO", s)
+	}
+	if from, err = strconv.ParseUint(a, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("-chaos-flap %q: %v", s, err)
+	}
+	if to, err = strconv.ParseUint(b, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("-chaos-flap %q: %v", s, err)
+	}
+	return from, to, nil
 }
 
 // handle is the per-session request handler, executed on a delegate

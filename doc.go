@@ -371,4 +371,29 @@
 // scrape. The serving stress tests assert per-key ordering under skewed
 // concurrent load, drain completeness (no accepted request unanswered),
 // and poisoned-session isolation at the HTTP surface.
+//
+// Between the router and the work it runs sits the robustness layer. A
+// pluggable Backend abstraction executes requests — in-process handlers,
+// HTTP upstream proxies, or a rotation Pool of either in which every
+// member is health-gated by its own circuit breaker (consecutive
+// failures open it, a cooldown later exactly one half-open probe decides
+// reclose-or-reopen). Per-request deadlines are fixed once at admission
+// and enforced at every seam where the tier holds the request: on
+// delivery at the router, at the queue front when slower epoch-mates
+// consumed the budget, inside the backend via context deadline, and at
+// the epoch-rotation sweep — so an expired request always resolves to a
+// definitive 504 and never parks a connection, with the sweep as the
+// backstop that makes the guarantee unconditional. Idempotent requests
+// that hit a backend failure retry with capped, deterministically
+// jittered exponential backoff, re-entering the router so attempts stay
+// serialized with the key's other requests; and a slow-key watchdog
+// degrades a persistently slow key to 503 sheds for the remainder of the
+// epoch (healed at rotation, the same discipline as poison). The
+// adversarial load harness (internal/loadgen, cmd/ssload) closes the
+// loop by driving a live server with skewed deterministic traffic
+// against chaos-injected backends (internal/chaos latency spikes,
+// seeded errors, flap windows) and asserting the contract from the
+// client side: per-key order across the fleet, bounded healthy p99, an
+// error budget, breaker open-and-recover observed on /metrics, zero
+// hung requests, and drain with nothing accepted left unanswered.
 package prometheus

@@ -1,9 +1,20 @@
-// Package chaos is the fault-injection harness behind the containment
-// tests. An Injector produces a hook the core runtime invokes on the
-// executing delegate immediately before every delegated method runs
-// (Config.FaultInjector); when the injector's trigger condition holds, the
-// hook panics with a Fault value, exercising the recover/poison/report
-// machinery exactly where a user operation would have faulted.
+// Package chaos is the fault-injection harness behind the containment and
+// serving-robustness tests. An Injector produces a hook the core runtime
+// invokes on the executing delegate immediately before every delegated
+// method runs (Config.FaultInjector); when the injector's trigger condition
+// holds, the hook panics with a Fault value, exercising the
+// recover/poison/report machinery exactly where a user operation would have
+// faulted.
+//
+// Beyond panics, the package provides the degraded-downstream injectors the
+// serving tier's backend seam consumes: Latency (deterministic delay
+// spikes), Errors (deterministic backend failures, the retry/breaker
+// exercise), and Flap (a contiguous outage window over a backend's own
+// operation sequence, the circuit-breaker open/half-open/recover exercise).
+// All of them share the panic injectors' determinism discipline: triggers
+// are pure functions of (seed, set, per-set position) or of the injector's
+// own operation count, never of wall-clock time or a global RNG, so a chaos
+// profile replays identically run over run.
 //
 // Two triggers are provided. PanicAt fires at the Nth operation of one
 // chosen set and is fully deterministic: because the serialization-set
@@ -27,6 +38,8 @@ package chaos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Fault is the value injected panics carry. It is a comparable error, so
@@ -71,15 +84,7 @@ func PanicAt(set, n uint64) *Injector {
 // coordinate. Deterministic for a fixed seed and workload; different seeds
 // scatter the faults differently.
 func Seeded(seed uint64, p float64) *Injector {
-	if p < 0 {
-		p = 0
-	}
-	if p > 1 {
-		p = 1
-	}
-	// Threshold in 63-bit space: uint64(p * 2^64) overflows for p near 1,
-	// so compare the top 63 bits of the mix against p scaled by 2^63.
-	thr := uint64(p * float64(1<<63))
+	thr := probThreshold(p)
 	return &Injector{
 		counts: make(map[uint64]uint64),
 		trigger: func(s, k uint64) bool {
@@ -119,6 +124,186 @@ func (in *Injector) Reset() {
 	in.mu.Lock()
 	clear(in.counts)
 	in.mu.Unlock()
+}
+
+// Injected is the error value the Errors injector returns (and the value a
+// chaos-wrapped backend surfaces). It is comparable, so tests can assert
+// errors.Is against an exact (set, position) coordinate.
+type Injected struct {
+	// Set is the serialization set whose operation was failed.
+	Set uint64
+	// N is the 1-based position of the failed operation within the
+	// injector's per-set count.
+	N uint64
+}
+
+func (e Injected) Error() string {
+	return fmt.Sprintf("chaos: injected error at op %d of set %d", e.N, e.Set)
+}
+
+// Latency injects deterministic delays: each Delay call counts one
+// operation of its set and returns the configured duration when the
+// trigger fires, zero otherwise. The caller performs the sleep (the
+// serving tier's chaos backend sleeps under the request's deadline
+// context, so a spike longer than the remaining budget resolves as a
+// timeout, not a wedge).
+type Latency struct {
+	mu      sync.Mutex
+	counts  map[uint64]uint64
+	d       time.Duration
+	fired   uint64
+	trigger func(set, n uint64) bool
+}
+
+// SpikeEvery returns a latency injector that delays every kth operation of
+// each set by d — the "periodic latency spike" profile. k <= 1 delays every
+// operation.
+func SpikeEvery(k uint64, d time.Duration) *Latency {
+	if k < 1 {
+		k = 1
+	}
+	return &Latency{
+		counts:  make(map[uint64]uint64),
+		d:       d,
+		trigger: func(_, n uint64) bool { return n%k == 0 },
+	}
+}
+
+// SeededLatency returns a latency injector that delays roughly fraction p
+// of operations by d, chosen by the same seeded (set, position) mix the
+// panic injector uses — scattered but fully deterministic per seed.
+func SeededLatency(seed uint64, p float64, d time.Duration) *Latency {
+	thr := probThreshold(p)
+	return &Latency{
+		counts:  make(map[uint64]uint64),
+		d:       d,
+		trigger: func(s, k uint64) bool { return (mix(seed, s, k) >> 1) < thr },
+	}
+}
+
+// Delay counts one operation of set and returns the delay to apply to it
+// (zero for untouched operations). Safe for concurrent use.
+func (l *Latency) Delay(set uint64) time.Duration {
+	l.mu.Lock()
+	l.counts[set]++
+	n := l.counts[set]
+	fire := l.trigger(set, n)
+	if fire {
+		l.fired++
+	}
+	l.mu.Unlock()
+	if fire {
+		return l.d
+	}
+	return 0
+}
+
+// Fired reports how many delays the injector has issued.
+func (l *Latency) Fired() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fired
+}
+
+// Errors injects deterministic backend failures: each Err call counts one
+// operation of its set and returns an Injected error when the trigger
+// fires, nil otherwise. This is the retry-path exercise — an injected
+// error is transient by construction (the next position rolls a fresh
+// coin), so a retried operation usually succeeds.
+type Errors struct {
+	mu      sync.Mutex
+	counts  map[uint64]uint64
+	fired   uint64
+	trigger func(set, n uint64) bool
+}
+
+// SeededErrors returns an error injector that fails roughly fraction p of
+// operations, deterministic per (seed, set, position).
+func SeededErrors(seed uint64, p float64) *Errors {
+	thr := probThreshold(p)
+	return &Errors{
+		counts:  make(map[uint64]uint64),
+		trigger: func(s, k uint64) bool { return (mix(seed, s, k) >> 1) < thr },
+	}
+}
+
+// ErrorAt returns an error injector that fails exactly the nth (1-based)
+// operation of one chosen set, once — the deterministic unit-test trigger.
+func ErrorAt(set, n uint64) *Errors {
+	return &Errors{
+		counts:  make(map[uint64]uint64),
+		trigger: func(s, k uint64) bool { return s == set && k == n },
+	}
+}
+
+// Err counts one operation of set and returns the failure to inject (nil
+// for untouched operations). Safe for concurrent use.
+func (e *Errors) Err(set uint64) error {
+	e.mu.Lock()
+	e.counts[set]++
+	n := e.counts[set]
+	fire := e.trigger(set, n)
+	if fire {
+		e.fired++
+	}
+	e.mu.Unlock()
+	if fire {
+		return Injected{Set: set, N: n}
+	}
+	return nil
+}
+
+// Fired reports how many errors the injector has returned.
+func (e *Errors) Fired() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired
+}
+
+// Flap models one contiguous backend outage: operations [From, To) of the
+// flapped backend's own sequence fail, everything before and after
+// succeeds. Counting the backend's operations — not wall time — keeps the
+// flap deterministic under any scheduling: the breaker sees exactly
+// To-From consecutive-failure opportunities, opens partway through, and
+// its half-open probe lands after the window closed, which is the
+// open→probe→recover cycle the serving stress asserts.
+type Flap struct {
+	n    atomic.Uint64
+	from uint64 // first failing operation, 1-based
+	to   uint64 // first succeeding operation after the window
+}
+
+// FlapBetween returns a flap failing operations [from, to) (1-based) of
+// whatever consumes it.
+func FlapBetween(from, to uint64) *Flap {
+	if to < from {
+		to = from
+	}
+	return &Flap{from: from, to: to}
+}
+
+// Down counts one operation and reports whether it falls inside the outage
+// window. Safe for concurrent use.
+func (f *Flap) Down() bool {
+	n := f.n.Add(1)
+	return n >= f.from && n < f.to
+}
+
+// Ops reports how many operations the flap has observed.
+func (f *Flap) Ops() uint64 { return f.n.Load() }
+
+// probThreshold converts probability p into the 63-bit comparison
+// threshold the seeded triggers share. uint64(p * 2^64) overflows for p
+// near 1, so triggers compare the top 63 bits of the mix against p scaled
+// by 2^63.
+func probThreshold(p float64) uint64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return uint64(p * float64(1<<63))
 }
 
 // mix is splitmix64-style avalanching over the (seed, set, position)

@@ -3,6 +3,7 @@ package chaos
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestPanicAtFiresExactlyOnce(t *testing.T) {
@@ -90,6 +91,124 @@ func TestSeededDeterministicAndBounded(t *testing.T) {
 		}()
 		in.Hook()(1, 3)
 	}()
+}
+
+func TestSpikeEveryPeriodAndDeterminism(t *testing.T) {
+	l := SpikeEvery(3, 200*time.Millisecond)
+	var delays []time.Duration
+	for i := 0; i < 9; i++ {
+		delays = append(delays, l.Delay(4))
+	}
+	for i, d := range delays {
+		want := time.Duration(0)
+		if (i+1)%3 == 0 {
+			want = 200 * time.Millisecond
+		}
+		if d != want {
+			t.Fatalf("op %d: delay %v, want %v", i+1, d, want)
+		}
+	}
+	if l.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", l.Fired())
+	}
+	// Per-set counting: a second set has its own period phase.
+	if d := l.Delay(5); d != 0 {
+		t.Fatalf("first op of a fresh set spiked: %v", d)
+	}
+	// k<1 clamps to every op.
+	if d := SpikeEvery(0, time.Millisecond).Delay(1); d != time.Millisecond {
+		t.Fatalf("SpikeEvery(0) op 1: %v, want 1ms", d)
+	}
+}
+
+func TestSeededLatencyDeterministic(t *testing.T) {
+	run := func() []int {
+		l := SeededLatency(7, 0.3, time.Millisecond)
+		var hits []int
+		for i := 0; i < 200; i++ {
+			if l.Delay(uint64(i%4)) > 0 {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs spiked %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(a) < 20 || len(a) > 120 {
+		t.Fatalf("p=0.3 over 200 ops spiked %d times", len(a))
+	}
+}
+
+func TestErrorsInjector(t *testing.T) {
+	e := ErrorAt(9, 2)
+	if err := e.Err(9); err != nil {
+		t.Fatalf("op 1 errored: %v", err)
+	}
+	err := e.Err(9)
+	if err == nil {
+		t.Fatal("op 2 did not error")
+	}
+	if !errors.Is(err, Injected{Set: 9, N: 2}) {
+		t.Fatalf("error %v is not Injected{9,2}", err)
+	}
+	want := "chaos: injected error at op 2 of set 9"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+	if err := e.Err(9); err != nil {
+		t.Fatalf("op 3 errored: %v", err)
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", e.Fired())
+	}
+
+	// Seeded errors: deterministic across runs, transient across positions
+	// (the retry contract — a fresh position rolls a fresh coin).
+	run := func() uint64 {
+		se := SeededErrors(11, 0.05)
+		for i := 0; i < 1000; i++ {
+			se.Err(uint64(i % 8))
+		}
+		return se.Fired()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("seeded error runs fired %d vs %d", a, b)
+	}
+	if a == 0 || a > 200 {
+		t.Fatalf("p=0.05 over 1000 ops fired %d times", a)
+	}
+}
+
+func TestFlapWindow(t *testing.T) {
+	f := FlapBetween(3, 6)
+	var down []bool
+	for i := 0; i < 8; i++ {
+		down = append(down, f.Down())
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if down[i] != want[i] {
+			t.Fatalf("op %d: down=%v, want %v (window [3,6))", i+1, down[i], want[i])
+		}
+	}
+	if f.Ops() != 8 {
+		t.Fatalf("Ops() = %d, want 8", f.Ops())
+	}
+	// Inverted bounds clamp to an empty window.
+	g := FlapBetween(5, 2)
+	for i := 0; i < 10; i++ {
+		if g.Down() {
+			t.Fatal("empty-window flap reported down")
+		}
+	}
 }
 
 func TestResetClearsPositions(t *testing.T) {

@@ -284,3 +284,20 @@ func (rt *Runtime) Poisoned(set uint64) bool {
 	fs := rt.faults.Load()
 	return fs != nil && fs.lookup(set) != nil
 }
+
+// PoisonedCount reports how many sets are poisoned in the current epoch —
+// the live "how degraded is this runtime right now" gauge the serving
+// tier's health endpoint exposes (Stats.PoisonedSets is the cumulative
+// ever-poisoned counter). Lock-free and safe from any goroutine: the
+// poison table is copy-on-write.
+func (rt *Runtime) PoisonedCount() int {
+	fs := rt.faults.Load()
+	if fs == nil {
+		return 0
+	}
+	m := fs.poisoned.Load()
+	if m == nil {
+		return 0
+	}
+	return len(*m)
+}

@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one scrape of a Prometheus text exposition, keyed by the
+// full series name including its label block ("ss_backend_state" or
+// `ss_backend_state{backend="flaky"}`). Just enough parser for the
+// harness's assertions — it reads the `name value` and
+// `name{labels} value` line shapes ssserve emits and skips comments;
+// it is not a general OpenMetrics parser.
+type Metrics map[string]float64
+
+// Scrape fetches and parses url (normally http://host/metrics).
+func Scrape(url string) (Metrics, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: status %d", url, resp.StatusCode)
+	}
+	m := Metrics{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Split on the LAST space: label values may contain spaces.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		m[strings.TrimSpace(line[:i])] = v
+	}
+	return m, sc.Err()
+}
+
+// Value returns the exact series, e.g. `ss_requests_total`.
+func (m Metrics) Value(series string) (float64, bool) {
+	v, ok := m[series]
+	return v, ok
+}
+
+// Sum adds every series whose name (before any label block) equals
+// name — the way to total a labeled family like ss_breaker_opens_total
+// across backends.
+func (m Metrics) Sum(name string) float64 {
+	var total float64
+	for k, v := range m {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}

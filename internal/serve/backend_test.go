@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+
+	// Closed: failures below threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		if !b.allow(now) {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.onFailure(now)
+	}
+	if st, consec := b.snapshot(); st != breakerClosed || consec != 2 {
+		t.Fatalf("state %s consec %d, want closed/2", breakerStateName(st), consec)
+	}
+	// A success resets the consecutive count: 2 more failures must not open.
+	b.onSuccess()
+	b.onFailure(now)
+	b.onFailure(now)
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("2 failures after a success opened a threshold-3 breaker")
+	}
+	// The third consecutive failure opens.
+	b.onFailure(now)
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("threshold reached but state %s", breakerStateName(st))
+	}
+	if b.opens.Load() != 1 {
+		t.Fatalf("opens = %d, want 1", b.opens.Load())
+	}
+
+	// Open: denied until the cooldown elapses.
+	if b.allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker admitted inside the cooldown")
+	}
+	if b.denied.Load() == 0 {
+		t.Fatal("denial not counted")
+	}
+
+	// Cooldown over: exactly one probe is admitted.
+	later := now.Add(2 * time.Second)
+	if !b.allow(later) {
+		t.Fatal("half-open transition denied the probe")
+	}
+	if st, _ := b.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("state %s, want half-open", breakerStateName(st))
+	}
+	if b.allow(later) {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// Failed probe: reopen, cooldown restarts.
+	b.onFailure(later)
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("failed probe left state %s", breakerStateName(st))
+	}
+	if b.allow(later.Add(500 * time.Millisecond)) {
+		t.Fatal("reopened breaker admitted inside the restarted cooldown")
+	}
+
+	// Successful probe: closed, back in rotation.
+	evenLater := later.Add(2 * time.Second)
+	if !b.allow(evenLater) {
+		t.Fatal("second probe denied")
+	}
+	b.onSuccess()
+	if st, consec := b.snapshot(); st != breakerClosed || consec != 0 {
+		t.Fatalf("recovered breaker: state %s consec %d, want closed/0", breakerStateName(st), consec)
+	}
+	if !b.allow(evenLater) || !b.allow(evenLater) {
+		t.Fatal("closed breaker limited traffic")
+	}
+}
+
+// failingBackend fails every call until healed.
+type failingBackend struct {
+	name   string
+	broken bool
+	calls  int
+}
+
+func (f *failingBackend) Name() string { return f.name }
+func (f *failingBackend) Serve(ctx context.Context, s *Session, r *http.Request) (int, string, error) {
+	f.calls++
+	if f.broken {
+		return 0, "", errors.New("down")
+	}
+	return http.StatusOK, f.name, nil
+}
+
+func TestPoolGatesFailingBackendAndRecovers(t *testing.T) {
+	good := &failingBackend{name: "good"}
+	bad := &failingBackend{name: "bad", broken: true}
+	p := NewPool(3, 50*time.Millisecond, good, bad)
+
+	sess := &Session{Key: "k", Set: 1}
+	r := httptest.NewRequest("GET", "/", nil)
+
+	// Drive calls until bad's breaker opens. Each failed call returns a
+	// BackendError naming the culprit; successes name good.
+	var failures int
+	for i := 0; i < 40 && failures < 3; i++ {
+		_, body, err := p.Serve(context.Background(), sess, r)
+		if err != nil {
+			var be *BackendError
+			if !errors.As(err, &be) || be.Backend != "bad" {
+				t.Fatalf("unexpected error %v", err)
+			}
+			failures++
+		} else if body != "good" {
+			t.Fatalf("success from %q", body)
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("rotation produced %d failures, want 3", failures)
+	}
+	states := p.States()
+	var badState BackendState
+	for _, bs := range states {
+		if bs.Name == "bad" {
+			badState = bs
+		}
+	}
+	if badState.State != "open" || !badState.Gated {
+		t.Fatalf("bad backend state %+v, want open/gated", badState)
+	}
+	if p.GatedCount() != 1 {
+		t.Fatalf("GatedCount = %d, want 1", p.GatedCount())
+	}
+
+	// While gated, every call lands on good: no more errors.
+	for i := 0; i < 10; i++ {
+		if _, _, err := p.Serve(context.Background(), sess, r); err != nil {
+			t.Fatalf("call %d failed while bad was gated: %v", i, err)
+		}
+	}
+
+	// Heal the backend and wait out the cooldown: the half-open probe
+	// succeeds and bad returns to rotation.
+	bad.broken = false
+	time.Sleep(60 * time.Millisecond)
+	before := bad.calls
+	for i := 0; i < 10; i++ {
+		if _, _, err := p.Serve(context.Background(), sess, r); err != nil {
+			t.Fatalf("post-heal call failed: %v", err)
+		}
+	}
+	if bad.calls == before {
+		t.Fatal("healed backend got no traffic after the cooldown")
+	}
+	if p.GatedCount() != 0 {
+		t.Fatalf("GatedCount = %d after recovery, want 0", p.GatedCount())
+	}
+}
+
+func TestPoolAllGated(t *testing.T) {
+	bad := &failingBackend{name: "only", broken: true}
+	p := NewPool(1, time.Hour, bad)
+	sess := &Session{Key: "k", Set: 1}
+	r := httptest.NewRequest("GET", "/", nil)
+
+	if _, _, err := p.Serve(context.Background(), sess, r); err == nil {
+		t.Fatal("first call to a broken backend succeeded")
+	}
+	_, _, err := p.Serve(context.Background(), sess, r)
+	if !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("all-gated pool returned %v, want ErrNoBackend", err)
+	}
+}
+
+func TestChaosBackendInjectors(t *testing.T) {
+	inner := NewHandlerBackend("inner", func(s *Session, r *http.Request) (int, string) {
+		return http.StatusOK, "ok"
+	})
+	sess := &Session{Key: "k", Set: 7}
+	r := httptest.NewRequest("GET", "/", nil)
+
+	// Error injection surfaces the chaos.Injected value through errors.Is.
+	cb := &ChaosBackend{Inner: inner, Errors: chaos.ErrorAt(7, 2)}
+	if _, _, err := cb.Serve(context.Background(), sess, r); err != nil {
+		t.Fatalf("op 1 failed: %v", err)
+	}
+	_, _, err := cb.Serve(context.Background(), sess, r)
+	if !errors.Is(err, chaos.Injected{Set: 7, N: 2}) {
+		t.Fatalf("op 2: %v, want Injected{7,2}", err)
+	}
+
+	// A latency spike longer than the remaining budget resolves as the
+	// context error, not a full sleep: the deadline cuts it short.
+	cb = &ChaosBackend{Inner: inner, Latency: chaos.SpikeEvery(1, time.Hour)}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = cb.Serve(ctx, sess, r)
+	if err == nil {
+		t.Fatal("deadline-cut spike returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("spike slept %v past the deadline", elapsed)
+	}
+
+	// Flap window: down for ops [1,3), up after.
+	cb = &ChaosBackend{Inner: inner, Flap: chaos.FlapBetween(1, 3)}
+	for i := 1; i <= 4; i++ {
+		_, _, err := cb.Serve(context.Background(), sess, r)
+		if down := i < 3; (err != nil) != down {
+			t.Fatalf("flap op %d: err=%v, want down=%v", i, err, down)
+		}
+	}
+}
+
+func TestHTTPBackendProxiesAndClassifies(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/boom":
+			w.WriteHeader(http.StatusInternalServerError)
+		case "/missing":
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, "nope")
+		default:
+			fmt.Fprintf(w, "key=%s path=%s q=%s", r.Header.Get("X-Session-Key"), r.URL.Path, r.URL.RawQuery)
+		}
+	}))
+	defer upstream.Close()
+
+	hb, err := NewHTTPBackend("up", upstream.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &Session{Key: "alice", Set: 1}
+	r := httptest.NewRequest("GET", "/echo?a=1", nil)
+
+	status, body, err := hb.Serve(context.Background(), sess, r)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("proxy: %d %q %v", status, body, err)
+	}
+	if body != "key=alice path=/echo q=a=1" {
+		t.Fatalf("proxied body %q", body)
+	}
+
+	// Upstream 4xx is a definitive answer (healthy backend), relayed as-is.
+	r4 := httptest.NewRequest("GET", "/missing", nil)
+	status, body, err = hb.Serve(context.Background(), sess, r4)
+	if err != nil || status != http.StatusNotFound || body != "nope" {
+		t.Fatalf("4xx relay: %d %q %v", status, body, err)
+	}
+
+	// Upstream 5xx is a backend failure (feeds breaker + retry).
+	r5 := httptest.NewRequest("GET", "/boom", nil)
+	if _, _, err = hb.Serve(context.Background(), sess, r5); err == nil {
+		t.Fatal("5xx not classified as backend failure")
+	}
+
+	// Construction-time validation.
+	if _, err := NewHTTPBackend("x", "not a url\x7f", nil); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+	if _, err := NewHTTPBackend("x", "/relative", nil); err == nil {
+		t.Fatal("schemeless URL accepted")
+	}
+}
+
+// TestHealthzDegradationReport: the /healthz body must expose the three
+// degradation gauges an orchestrator keys off — poisoned keys, gated
+// backends, watchdog-degraded keys — on both the 200 and the 503.
+func TestHealthzDegradationReport(t *testing.T) {
+	bad := &failingBackend{name: "bad", broken: true}
+	good := NewHandlerBackend("good", testHandler)
+	s := newTestServer(t, Config{
+		Backend:       NewPool(1, time.Hour, good, bad),
+		EpochInterval: time.Hour, // no rotation: poison and gating persist for the test
+	})
+	defer s.Drain()
+	h := s.Handler()
+
+	code, body := get(t, h, "/healthz", "k", nil)
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok\n") {
+		t.Fatalf("healthy healthz: %d %q", code, body)
+	}
+	if !strings.Contains(body, "poisoned_keys 0") || !strings.Contains(body, "gated_backends 0") {
+		t.Fatalf("healthz body %q missing zeroed gauges", body)
+	}
+
+	// Gate the bad backend (threshold 1: one failure opens it). Requests
+	// keep succeeding via the good backend.
+	for i := 0; i < 4; i++ {
+		get(t, h, "/", "k", nil)
+	}
+	_, body = get(t, h, "/healthz", "k", nil)
+	if !strings.Contains(body, "gated_backends 1") {
+		t.Fatalf("healthz body %q does not report the gated backend", body)
+	}
+
+	// Poison a key: a panicking handler poisons its set for the epoch.
+	if code, _ := get(t, h, "/", "victim", map[string]string{"X-Boom": "1"}); code != http.StatusInternalServerError {
+		t.Fatalf("panic request status %d, want 500", code)
+	}
+	_, body = get(t, h, "/healthz", "k", nil)
+	if !strings.Contains(body, "poisoned_keys 1") {
+		t.Fatalf("healthz body %q does not report the poisoned key", body)
+	}
+}

@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	prometheus "repro"
+	"repro/internal/chaos"
+)
+
+// newReq builds a keyed request without routing it anywhere.
+func newReq(method, path, key string, hdr map[string]string) *http.Request {
+	r := httptest.NewRequest(method, path, nil)
+	r.Header.Set("X-Session-Key", key)
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	return r
+}
+
+// blockingBackend parks until the request's deadline fires, then reports
+// the context error — a well-behaved upstream that honors cancellation.
+type blockingBackend struct{}
+
+func (blockingBackend) Name() string { return "blocking" }
+func (blockingBackend) Serve(ctx context.Context, s *Session, r *http.Request) (int, string, error) {
+	<-ctx.Done()
+	return 0, "", ctx.Err()
+}
+
+// TestDeadlineBackendTimeout covers the in-backend enforcement point: a
+// backend that honors its context deadline fails the attempt, the router
+// sees the budget is gone, and the client gets a definitive 504 — not a
+// retry, not a parked done channel.
+func TestDeadlineBackendTimeout(t *testing.T) {
+	s := newTestServer(t, Config{
+		Backend:        blockingBackend{},
+		RequestTimeout: 30 * time.Millisecond,
+		RetryMax:       3, // must NOT be consulted: the budget is spent
+	})
+	defer s.Drain()
+	h := s.Handler()
+
+	start := time.Now()
+	code, body := get(t, h, "/", "k1", nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d body %q, want 504", code, body)
+	}
+	if !strings.Contains(body, "exceeded its") {
+		t.Fatalf("504 body %q lacks the budget explanation", body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("expired request took %v to resolve", elapsed)
+	}
+}
+
+// TestDeadlineQueueFrontShed covers the queue-front enforcement point: a
+// request whose budget was consumed by a slow epoch-mate ahead of it in
+// the same serialization set resolves 504 without running its backend.
+func TestDeadlineQueueFrontShed(t *testing.T) {
+	ran := make(map[string]bool)
+	var mu sync.Mutex
+	s := newTestServer(t, Config{
+		Handler: func(sess *Session, r *http.Request) (int, string) {
+			mu.Lock()
+			ran[r.URL.Path] = true
+			mu.Unlock()
+			if r.Header.Get("X-Slow") == "1" {
+				time.Sleep(120 * time.Millisecond) // uncancellable: ignores the deadline
+			}
+			return http.StatusOK, "ok"
+		},
+		RequestTimeout: 40 * time.Millisecond,
+		EpochInterval:  time.Second, // no rotation mid-test; the queue front must shed on its own
+	})
+	defer s.Drain()
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	codes := make([]int, 2)
+	go func() {
+		defer wg.Done()
+		codes[0], _ = get(t, h, "/first", "hot", map[string]string{"X-Slow": "1"})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the slow one claim the set
+	go func() {
+		defer wg.Done()
+		codes[1], _ = get(t, h, "/second", "hot", nil)
+	}()
+	wg.Wait()
+
+	// The slow request ignores its deadline and completes late: a late
+	// success is still a success. The one queued behind it must expire.
+	if codes[0] != http.StatusOK {
+		t.Fatalf("slow request status %d, want 200", codes[0])
+	}
+	if codes[1] != http.StatusGatewayTimeout {
+		t.Fatalf("queued request status %d, want 504", codes[1])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran["/second"] {
+		t.Fatal("expired request's backend ran anyway: queue-front shed failed")
+	}
+}
+
+// TestRetryRecoversInjectedFailure: a deterministic chaos error on the
+// key's first backend attempt is healed by one retry — the client sees a
+// plain 200 and the retry counter moves.
+func TestRetryRecoversInjectedFailure(t *testing.T) {
+	const key = "retry-key"
+	set := prometheus.StringSet(key)
+	s := newTestServer(t, Config{
+		Backend: &ChaosBackend{
+			Inner:  NewHandlerBackend("inner", testHandler),
+			Errors: chaos.ErrorAt(set, 1),
+		},
+		RetryMax:  2,
+		RetryBase: time.Millisecond,
+	})
+	h := s.Handler()
+
+	code, body := get(t, h, "/", key, nil)
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %q, want 200 after retry", code, body)
+	}
+	if s.metrics.retries.Load() == 0 {
+		t.Fatal("no retry recorded")
+	}
+	if s.metrics.backendFailures.Load() == 0 {
+		t.Fatal("injected failure not counted")
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestRetryNotForNonIdempotent: the same injected failure on a POST
+// without an Idempotency-Key renders a 502 instead of retrying.
+func TestRetryNotForNonIdempotent(t *testing.T) {
+	const key = "post-key"
+	set := prometheus.StringSet(key)
+	s := newTestServer(t, Config{
+		Backend: &ChaosBackend{
+			Inner:  NewHandlerBackend("inner", testHandler),
+			Errors: chaos.ErrorAt(set, 1),
+		},
+		RetryMax:  2,
+		RetryBase: time.Millisecond,
+	})
+	defer s.Drain()
+	h := s.Handler()
+
+	r := newReq("POST", "/", key, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	code, body := w.Code, w.Body.String()
+	if code != http.StatusBadGateway {
+		t.Fatalf("non-idempotent POST: status %d body %q, want 502", code, body)
+	}
+	if !strings.Contains(body, "after 1 attempt(s)") {
+		t.Fatalf("502 body %q does not show a single attempt", body)
+	}
+	if s.metrics.retries.Load() != 0 {
+		t.Fatal("non-idempotent request was retried")
+	}
+
+	// The second per-set op has no injected error; an Idempotency-Key on a
+	// later failing op would opt the POST back into retries — covered by
+	// defaultIdempotent unit checks below.
+	if !defaultIdempotent(newReq("POST", "/", key, map[string]string{"Idempotency-Key": "tx-9"})) {
+		t.Fatal("Idempotency-Key header did not mark the POST retryable")
+	}
+	if defaultIdempotent(newReq("POST", "/", key, nil)) {
+		t.Fatal("bare POST marked retryable")
+	}
+	if !defaultIdempotent(newReq("GET", "/", key, nil)) {
+		t.Fatal("GET not marked retryable")
+	}
+}
+
+// TestRetryPreservesPerKeyOrder: a key whose every odd backend attempt
+// fails (and is retried) still yields unique, gap-free session sequence
+// numbers across concurrent clients — retries re-enter through the same
+// serialization set, so no two attempts for the key ever overlap.
+func TestRetryPreservesPerKeyOrder(t *testing.T) {
+	const key = "flaky-key"
+	s := newTestServer(t, Config{
+		Backend: &ChaosBackend{
+			Inner: NewHandlerBackend("inner", testHandler),
+			// Seeded 30% failure rate on this set's ops: many requests need
+			// one or more retries, deterministically placed.
+			Errors: chaos.SeededErrors(42, 0.3),
+		},
+		RetryMax:  8,
+		RetryBase: time.Millisecond,
+	})
+	h := s.Handler()
+
+	const clients, perClient = 4, 25
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seqs := map[string]int{}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				code, body := get(t, h, "/", key, nil)
+				if code != http.StatusOK {
+					t.Errorf("status %d body %q", code, body)
+					return
+				}
+				mu.Lock()
+				seqs[body]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for seq, n := range seqs {
+		if n != 1 {
+			t.Fatalf("sequence %s returned %d times: attempts for one key overlapped", seq, n)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestSlowKeyWatchdog: consecutive slow services degrade the key to 503
+// sheds; the next epoch rotation heals it.
+func TestSlowKeyWatchdog(t *testing.T) {
+	s := newTestServer(t, Config{
+		Handler: func(sess *Session, r *http.Request) (int, string) {
+			if r.Header.Get("X-Slow") == "1" {
+				time.Sleep(15 * time.Millisecond)
+			}
+			return http.StatusOK, "ok"
+		},
+		SlowThreshold: 5 * time.Millisecond,
+		SlowTrips:     2,
+		EpochInterval: 400 * time.Millisecond,
+	})
+	defer s.Drain()
+	h := s.Handler()
+
+	slow := map[string]string{"X-Slow": "1"}
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, h, "/", "laggard", slow); code != http.StatusOK {
+			t.Fatalf("slow request %d not served", i)
+		}
+	}
+	// Two consecutive slow services tripped the watchdog: even a fast
+	// request for the key is now shed.
+	code, body := get(t, h, "/", "laggard", nil)
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded key: status %d body %q, want 503 shed", code, body)
+	}
+	// Other keys are unaffected.
+	if code, _ := get(t, h, "/", "bystander", nil); code != http.StatusOK {
+		t.Fatal("watchdog degradation leaked to an unrelated key")
+	}
+	if s.slow.degradedCount() != 1 {
+		t.Fatalf("degradedCount = %d, want 1", s.slow.degradedCount())
+	}
+
+	// Rotation heals: the key serves again (and its consecutive-slow
+	// count restarts from zero).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ = get(t, h, "/", "laggard", nil)
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("degraded key never healed across rotations")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestExpiredAtDeliveryAfterBackoff: a retry whose backoff would land
+// past the deadline is not armed — the budget bounds total attempts, so
+// the client sees the rendered failure, not a late retry.
+func TestBackoffBoundedByDeadline(t *testing.T) {
+	const key = "bounded"
+	set := prometheus.StringSet(key)
+	s := newTestServer(t, Config{
+		Backend: &ChaosBackend{
+			Inner:  NewHandlerBackend("inner", testHandler),
+			Errors: chaos.ErrorAt(set, 1),
+		},
+		RequestTimeout: 50 * time.Millisecond,
+		RetryMax:       3,
+		RetryBase:      time.Hour, // backoff can never fit the budget
+	})
+	defer s.Drain()
+	h := s.Handler()
+
+	start := time.Now()
+	code, body := get(t, h, "/", key, nil)
+	if code != http.StatusBadGateway {
+		t.Fatalf("status %d body %q, want immediate 502", code, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("request waited %v: the hour-long backoff was armed", elapsed)
+	}
+	if s.metrics.retries.Load() != 0 {
+		t.Fatal("retry armed past the deadline")
+	}
+}
+
+// backoffFor must stay within [0.5x, 1.5x] of the capped exponential
+// schedule and never overflow.
+func TestBackoffSchedule(t *testing.T) {
+	s := newTestServer(t, Config{
+		Handler:   testHandler,
+		RetryBase: 2 * time.Millisecond,
+		RetryCap:  250 * time.Millisecond,
+	})
+	defer s.Drain()
+	for attempt := 0; attempt < 70; attempt++ { // far past the shift-overflow point
+		j := &job{set: 7, attempt: attempt}
+		d := s.backoffFor(j)
+		ideal := 2 * time.Millisecond << uint(attempt)
+		if ideal <= 0 || ideal > 250*time.Millisecond {
+			ideal = 250 * time.Millisecond
+		}
+		lo, hi := ideal/2, ideal+ideal/2
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo, hi)
+		}
+		// Same (set, attempt) must jitter identically: determinism.
+		if d2 := s.backoffFor(j); d2 != d {
+			t.Fatalf("attempt %d: jitter not deterministic (%v vs %v)", attempt, d, d2)
+		}
+	}
+}

@@ -19,12 +19,35 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// handleHealthz reports readiness plus the degradation detail an
+// orchestrator needs to distinguish "draining" (remove from rotation,
+// instance is going away) from "degraded" (keep routing, but some keys or
+// backends are impaired): the currently-poisoned key count, the
+// gated-backend count, and the watchdog-degraded key count, all in the
+// body of both the 200 and the 503.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := http.StatusOK
+	state := "ok"
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+		status = http.StatusServiceUnavailable
+		state = "draining"
 	}
-	fmt.Fprintln(w, "ok")
+	gated := 0
+	if sp, ok := s.cfg.Backend.(statesProvider); ok {
+		for _, bs := range sp.States() {
+			if bs.Gated {
+				gated++
+			}
+		}
+	}
+	degraded := 0
+	if s.slow != nil {
+		degraded = s.slow.degradedCount()
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "%s\npoisoned_keys %d\ngated_backends %d\ndegraded_keys %d\n",
+		state, s.rt.PoisonedCount(), gated, degraded)
 }
 
 // ServeHTTP is the request path: admission gates on the handler
@@ -67,6 +90,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := &job{key: key, set: set, r: r, done: make(chan struct{}), start: time.Now()}
+	if s.cfg.RequestTimeout > 0 {
+		// The request's budget is fixed here, at admission: every queue it
+		// waits in, every backend attempt, and every retry backoff spends
+		// from this one allowance.
+		j.deadline = j.start.Add(s.cfg.RequestTimeout)
+	}
 	s.metrics.depth.Observe(int64(len(s.jobs)))
 	select {
 	case s.jobs <- j:
@@ -92,6 +121,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// moment to land before attaching it.
 		s.metrics.faultResponses.Add(1)
 		s.failFaulted(w, key, set)
+	case outcomeExpired:
+		// The request's budget ran out before a backend could answer — at
+		// delivery, at the queue front behind slower epoch-mates, inside a
+		// deadline-honoring backend, or at the epoch sweep. Definitive by
+		// construction: the winner of the outcome CAS proved no backend
+		// answer is coming.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		fmt.Fprintf(w, "request for key %q exceeded its %v budget\n", key, s.cfg.RequestTimeout)
+	case outcomeShed:
+		// The slow-key watchdog degraded this key: shedding beats queueing
+		// a request behind work that would blow its budget anyway.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "key %q degraded: persistently slow; shed until the next epoch rotation\n", key)
 	default: // outcomeDropped
 		// The key was poisoned before this request's operation could run;
 		// the operation was deterministically dropped (router fast path or

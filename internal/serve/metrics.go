@@ -34,12 +34,18 @@ type metrics struct {
 	latency []*prometheus.Histogram // per set-shard, microseconds
 	depth   *prometheus.Histogram   // jobs-channel occupancy at admission
 
-	served           atomic.Uint64 // requests answered by their handler
+	served           atomic.Uint64 // requests answered by their backend
 	droppedJobs      atomic.Uint64 // jobs resolved dropped (poison fast path or epoch sweep)
 	admissionRejects atomic.Uint64 // 503s: inflight budget, queue full, draining
 	rateRejects      atomic.Uint64 // 429s: per-set token bucket
 	poisonRejects    atomic.Uint64 // fast-path 500s: key already poisoned at admission
 	faultResponses   atomic.Uint64 // 500s after delegation: faulted or dropped
+	expired          atomic.Uint64 // 504s: request budget exhausted (delivery, queue front, backend, sweep)
+	shedDegraded     atomic.Uint64 // 503s: slow-key watchdog shed at delivery
+	retries          atomic.Uint64 // retry attempts armed after backend failures
+	backendFailures  atomic.Uint64 // backend error returns (pre-retry; includes all-gated)
+	degradedKeys     atomic.Uint64 // keys degraded by the watchdog (cumulative trips)
+	bucketsEvicted   atomic.Uint64 // idle rate-limit buckets evicted at rotations
 }
 
 func newMetrics(shards int) *metrics {
@@ -76,6 +82,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ss_ratelimit_rejects_total", "Requests rejected 429 by the per-set token bucket.", m.rateRejects.Load())
 	counter("ss_poisoned_rejects_total", "Requests rejected 500 at admission on an already-poisoned key.", m.poisonRejects.Load())
 	counter("ss_fault_responses_total", "Requests answered 500 after delegation (faulted or dropped).", m.faultResponses.Load())
+	counter("ss_requests_expired_total", "Requests answered 504: budget exhausted before a backend answer.", m.expired.Load())
+	counter("ss_requests_shed_total", "Requests answered 503 by the slow-key watchdog.", m.shedDegraded.Load())
+	counter("ss_retries_total", "Retry attempts armed after backend failures.", m.retries.Load())
+	counter("ss_backend_failures_total", "Backend error returns (before retry resolution).", m.backendFailures.Load())
+	counter("ss_degraded_keys_total", "Keys degraded by the slow-key watchdog.", m.degradedKeys.Load())
+	counter("ss_ratelimit_evicted_total", "Idle rate-limit buckets evicted at epoch rotations.", m.bucketsEvicted.Load())
 
 	histogram := func(name, help, labels string, h *prometheus.Histogram) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
@@ -116,6 +128,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# HELP ss_delegate_backlog Outstanding operations per delegate context.\n# TYPE ss_delegate_backlog gauge\n")
 	for i, d := range s.rt.QueueDepths(make([]uint64, 0, 16)) {
 		fmt.Fprintf(&b, "ss_delegate_backlog{delegate=\"%d\"} %d\n", i+1, d)
+	}
+
+	// Per-backend health, when the backend exposes it (a Pool does):
+	// breaker state as an enum gauge plus failure/open/denial counters, so
+	// a dashboard (and ssload's assertions) can watch a backend leave and
+	// re-enter rotation.
+	if sp, ok := s.cfg.Backend.(statesProvider); ok {
+		states := sp.States()
+		fmt.Fprintf(&b, "# HELP ss_backend_state Circuit-breaker state per backend (0=closed, 1=open, 2=half-open).\n# TYPE ss_backend_state gauge\n")
+		for _, bs := range states {
+			v := 0
+			switch bs.State {
+			case "open":
+				v = 1
+			case "half-open":
+				v = 2
+			}
+			fmt.Fprintf(&b, "ss_backend_state{backend=%q} %d\n", bs.Name, v)
+		}
+		fmt.Fprintf(&b, "# HELP ss_backend_consecutive_failures Consecutive failures while closed, per backend.\n# TYPE ss_backend_consecutive_failures gauge\n")
+		for _, bs := range states {
+			fmt.Fprintf(&b, "ss_backend_consecutive_failures{backend=%q} %d\n", bs.Name, bs.ConsecFails)
+		}
+		fmt.Fprintf(&b, "# HELP ss_breaker_opens_total Times each backend's circuit breaker opened.\n# TYPE ss_breaker_opens_total counter\n")
+		for _, bs := range states {
+			fmt.Fprintf(&b, "ss_breaker_opens_total{backend=%q} %d\n", bs.Name, bs.Opens)
+		}
+		fmt.Fprintf(&b, "# HELP ss_breaker_denied_total Requests short-circuited by each backend's gate.\n# TYPE ss_breaker_denied_total counter\n")
+		for _, bs := range states {
+			fmt.Fprintf(&b, "ss_breaker_denied_total{backend=%q} %d\n", bs.Name, bs.Denied)
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP ss_poisoned_keys Serialization sets poisoned in the current epoch.\n# TYPE ss_poisoned_keys gauge\nss_poisoned_keys %d\n", s.rt.PoisonedCount())
+	if s.slow != nil {
+		fmt.Fprintf(&b, "# HELP ss_degraded_keys Keys currently shed by the slow-key watchdog.\n# TYPE ss_degraded_keys gauge\nss_degraded_keys %d\n", s.slow.degradedCount())
+	}
+	if s.limiter != nil {
+		fmt.Fprintf(&b, "# HELP ss_ratelimit_buckets Live per-key token buckets.\n# TYPE ss_ratelimit_buckets gauge\nss_ratelimit_buckets %d\n", s.limiter.size())
 	}
 
 	st := s.Stats()

@@ -12,6 +12,15 @@ import (
 // (no background goroutine) and live in a lock-sharded map: the request
 // path takes exactly one shard mutex, and keys only collide on a shard
 // lock, never on a bucket.
+//
+// Bucket lifetime is bounded by the idle sweep: a long-lived server sees
+// unbounded key cardinality (session ids churn forever), and a map that
+// only grows is a slow memory leak. The router calls sweep at every epoch
+// rotation; a bucket idle long enough to have refilled to capacity is
+// indistinguishable from a fresh one — a new key starts with a full
+// bucket — so evicting exactly those buckets is semantically free: no
+// request is admitted or rejected differently than if the bucket had been
+// kept.
 type limiter struct {
 	rate   float64 // tokens per second
 	burst  float64 // bucket capacity
@@ -64,4 +73,40 @@ func (l *limiter) allow(set uint64) bool {
 	}
 	sh.mu.Unlock()
 	return ok
+}
+
+// sweep evicts every bucket that has been idle long enough to refill to
+// capacity — (now - last) * rate >= burst — and returns the eviction
+// count. Recreating such a bucket on the key's next request yields the
+// exact same admission decisions as having kept it, so the sweep changes
+// no rate-limiting behavior; it only bounds the map under unbounded key
+// cardinality. Called by the router at epoch rotations: O(live buckets),
+// off the request path, one shard locked at a time.
+func (l *limiter) sweep(now time.Time) int {
+	evicted := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for set, b := range sh.buckets {
+			if now.Sub(b.last).Seconds()*l.rate >= l.burst {
+				delete(sh.buckets, set)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// size reports the live bucket count across all shards (the /metrics
+// gauge proving the sweep bounds the map).
+func (l *limiter) size() int {
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.buckets)
+		sh.mu.Unlock()
+	}
+	return n
 }

@@ -33,16 +33,32 @@
 // sweep is exact, not heuristic.
 //
 // Epochs rotate on a timer. Rotation is the serving tier's repair loop:
-// the barrier proves the pool quiescent, dropped jobs are swept, the
-// stats snapshot is republished, and BeginIsolation clears the poison
-// table so a faulted key starts serving again (its fault records remain
-// queryable). The rotation barrier briefly parks the router, so admission
-// backpressure (bounded jobs channel, inflight budget) is what bounds the
-// latency blip: everything accepted before the barrier is already in
-// delegate queues, which the barrier itself drains.
+// the barrier proves the pool quiescent, dropped and expired jobs are
+// swept to definitive answers, the stats snapshot is republished,
+// BeginIsolation clears the poison table so a faulted key starts serving
+// again (its fault records remain queryable), the slow-key watchdog
+// heals, and the rate limiter evicts idle buckets. The rotation barrier
+// briefly parks the router, so admission backpressure (bounded jobs
+// channel, inflight budget) is what bounds the latency blip: everything
+// accepted before the barrier is already in delegate queues, which the
+// barrier itself drains.
+//
+// Between the router and the work it runs sits the robustness layer
+// (backend.go, breaker.go, deadline.go): a pluggable Backend interface
+// (in-process handlers, HTTP upstream proxies, chaos wrappers) optionally
+// gated per backend by a circuit breaker behind a rotation Pool;
+// per-request deadlines fixed at admission and enforced wherever the tier
+// holds the request (delivery, queue front, backend context, epoch
+// sweep — an expired request resolves to a definitive 504, never a parked
+// done-channel); retry with capped jittered backoff for idempotent
+// requests, re-delegated through the router so per-key order holds across
+// attempts; and a slow-key watchdog that degrades a persistently-slow key
+// to 503 sheds instead of letting it starve its set's epoch-mates.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync/atomic"
@@ -68,7 +84,11 @@ type Session struct {
 // context. It must not retain s or r beyond the call, must not call
 // Runtime methods, and may panic: a panic is contained by the engine,
 // fails this request with the fault attached, and poisons the key for the
-// rest of the epoch while every other key keeps serving.
+// rest of the epoch while every other key keeps serving. When
+// Config.RequestTimeout is set, r.Context() carries the request's
+// deadline; a cooperative handler bounds its own work with it (an
+// uncooperative one is handled by queue-front shedding and the slow-key
+// watchdog instead — see deadline.go).
 type Handler func(s *Session, r *http.Request) (status int, body string)
 
 // Config parameterizes a Server.
@@ -99,7 +119,40 @@ type Config struct {
 	// before logging a straggler report (with the scheduler dump) and
 	// terminating anyway. Default 5s.
 	DrainTimeout time.Duration
-	// Handler executes requests; required.
+	// RequestTimeout is the per-request budget, fixed at admission. A
+	// request whose budget expires before its backend can run resolves to a
+	// definitive 504 (at delivery, at the queue front, or at the epoch
+	// sweep — see deadline.go); a backend running when it expires sees the
+	// deadline on its context. 0 disables deadlines.
+	RequestTimeout time.Duration
+	// RetryMax caps retry attempts for idempotent requests after backend
+	// failures (0 = no retries). Retries re-enter the router and are
+	// re-delegated through the key's serialization set, preserving per-key
+	// order across attempts.
+	RetryMax int
+	// RetryBase and RetryCap shape the capped exponential backoff between
+	// attempts (base doubles per attempt, jittered ±50%, capped). Defaults
+	// 2ms and 250ms.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// IdempotentFunc reports whether a request is safe to retry. Default:
+	// GET/HEAD/OPTIONS, or any method carrying an Idempotency-Key header.
+	IdempotentFunc func(r *http.Request) bool
+	// SlowThreshold arms the slow-key watchdog: a key whose backend
+	// services exceed it on SlowTrips consecutive requests is degraded —
+	// shed with 503 at delivery — until an epoch rotation heals it. 0
+	// disables the watchdog.
+	SlowThreshold time.Duration
+	// SlowTrips is the consecutive-slow-service count that degrades a key.
+	// Default 3.
+	SlowTrips int
+	// Backend executes requests. Exactly one of Backend and Handler must
+	// be set (Handler is shorthand for an in-process HandlerBackend); use
+	// NewPool to gate several backends behind per-backend circuit
+	// breakers.
+	Backend Backend
+	// Handler executes requests in-process; shorthand for
+	// Backend: NewHandlerBackend("inprocess", Handler).
 	Handler Handler
 	// KeyFunc extracts the request key. Default: header "X-Session-Key",
 	// else query parameter "key", else the client address.
@@ -109,8 +162,26 @@ type Config struct {
 }
 
 func (c *Config) withDefaults() error {
-	if c.Handler == nil {
-		return fmt.Errorf("serve: Config.Handler is required")
+	if c.Handler == nil && c.Backend == nil {
+		return fmt.Errorf("serve: one of Config.Handler and Config.Backend is required")
+	}
+	if c.Handler != nil && c.Backend != nil {
+		return fmt.Errorf("serve: Config.Handler and Config.Backend are mutually exclusive")
+	}
+	if c.Backend == nil {
+		c.Backend = NewHandlerBackend("inprocess", c.Handler)
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 250 * time.Millisecond
+	}
+	if c.IdempotentFunc == nil {
+		c.IdempotentFunc = defaultIdempotent
+	}
+	if c.SlowTrips <= 0 {
+		c.SlowTrips = 3
 	}
 	if c.Shards <= 0 {
 		c.Shards = 8
@@ -146,25 +217,38 @@ func defaultKey(r *http.Request) string {
 	return r.RemoteAddr
 }
 
-// Job outcomes, CAS-guarded: exactly one of the delegated closure's
-// deferred finish, the router's poisoned-fast-path finish, and the epoch
-// sweep wins, and the winner closes done.
+// Job outcomes, CAS-guarded: exactly one of the delegated operation, the
+// router's fast-path finishes (poisoned, degraded, expired at delivery),
+// and the epoch sweep wins, and the winner closes done.
 const (
 	outcomePending uint32 = iota
-	outcomeServed         // handler ran (status/body are valid)
+	outcomeServed         // backend produced a definitive answer (status/body are valid, including 502 on a non-retryable backend failure)
 	outcomeFaulted        // handler panicked; fault contained, set poisoned
 	outcomeDropped        // delegation dropped on a poisoned set (router fast path or engine seam + sweep)
+	outcomeExpired        // request budget expired before the backend could answer (504)
+	outcomeShed           // slow-key watchdog degraded the key (503)
 )
 
 type job struct {
-	key     string
-	set     uint64
-	r       *http.Request
-	status  int
-	body    string
-	outcome atomic.Uint32
-	done    chan struct{}
-	start   time.Time
+	key      string
+	set      uint64
+	r        *http.Request
+	status   int
+	body     string
+	outcome  atomic.Uint32
+	done     chan struct{}
+	start    time.Time
+	deadline time.Time // zero = no budget (Config.RequestTimeout off)
+
+	// attempt counts backend attempts already made. Written by the
+	// delegate arming a retry, read by the router at redelivery; the retry
+	// timer's channel send carries the happens-before edge.
+	attempt int
+	// retryArmed marks a job owned by its retry timer: not finished, not
+	// in flight, waiting to re-enter the jobs channel. The epoch sweep
+	// skips armed jobs (their delegation completed — the barrier proved
+	// it — and the timer will re-deliver them); delivery clears the flag.
+	retryArmed atomic.Bool
 }
 
 // finish resolves the job to outcome o exactly once; the winning caller
@@ -183,6 +267,7 @@ type Server struct {
 	cfg     Config
 	metrics *metrics
 	limiter *limiter
+	slow    *slowTable // nil unless Config.SlowThreshold set
 
 	jobs     chan *job
 	inflight atomic.Int64
@@ -225,6 +310,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Rate > 0 {
 		s.limiter = newLimiter(cfg.Rate, cfg.Burst)
+	}
+	if cfg.SlowThreshold > 0 {
+		s.slow = newSlowTable(cfg.SlowThreshold, cfg.SlowTrips)
 	}
 	ready := make(chan struct{})
 	go s.router(ready)
@@ -274,14 +362,33 @@ func (s *Server) router(ready chan struct{}) {
 	}
 }
 
-// deliver routes one job: poisoned fast path, session lookup, delegation.
-// Program context only.
+// deliver routes one job: deadline and degradation fast paths, poisoned
+// fast path, session lookup, delegation. Handles both fresh arrivals and
+// retry re-entries (retryArmed is cleared here — from this point the job
+// is in flight again). Program context only.
 func (s *Server) deliver(j *job) {
+	j.retryArmed.Store(false)
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		// The budget expired while the job sat in the channel (or while a
+		// retry backoff ran): resolve the 504 without paying a delegation.
+		if j.finish(outcomeExpired) {
+			s.metrics.expired.Add(1)
+		}
+		return
+	}
 	if s.rt.Poisoned(j.set) {
 		// The epoch's poison landed before this job was delegated: fail it
 		// now instead of paying the delegation just to drop it at a seam.
 		if j.finish(outcomeDropped) {
 			s.metrics.droppedJobs.Add(1)
+		}
+		return
+	}
+	if s.slow != nil && s.slow.degraded(j.set) {
+		// The watchdog degraded this key: shed instead of queueing behind
+		// work that would blow the budget anyway.
+		if j.finish(outcomeShed) {
+			s.metrics.shedDegraded.Add(1)
 		}
 		return
 	}
@@ -291,42 +398,138 @@ func (s *Server) deliver(j *job) {
 		s.sessions[j.set] = sess
 	}
 	s.epochJobs = append(s.epochJobs, j)
-	handler := s.cfg.Handler
 	s.w.DelegateTo(j.set, func(_ *prometheus.Ctx, _ *routerState) {
-		served := false
-		// The deferred finish runs during panic unwinding BEFORE the
-		// engine's containment recover, so a faulting request still
-		// completes (as outcomeFaulted) and the panic still reaches the
-		// engine to be recorded and to poison the set.
-		defer func() {
-			if served {
-				j.finish(outcomeServed)
-			} else {
-				j.finish(outcomeFaulted)
-			}
-		}()
-		sess.Seq++
-		j.status, j.body = handler(sess, j.r)
-		served = true
+		s.execute(j, sess)
 	})
+}
+
+// execute runs one job's backend attempt on a delegate context. It owns
+// the job's resolution for this attempt: served (any definitive status,
+// including a 502/503 rendered from a non-retryable backend failure),
+// expired (queue-front shed or budget exhausted mid-backend), faulted
+// (handler panic — the deferred check fires during unwinding, before the
+// engine's containment recover, so the request completes AND the panic
+// still poisons the set), or none of these because a retry timer was
+// armed and the job will re-enter the router.
+func (s *Server) execute(j *job, sess *Session) {
+	start := time.Now()
+	if !j.deadline.IsZero() && start.After(j.deadline) {
+		// Queue-front shed: the set's earlier work (a latency spike, a slow
+		// epoch-mate) consumed this request's budget before its turn came.
+		// Resolving 504 here — without running the backend — is what keeps
+		// one slow request from cascading into a wedged key.
+		if j.finish(outcomeExpired) {
+			s.metrics.expired.Add(1)
+		}
+		return
+	}
+	resolved := false
+	defer func() {
+		if !resolved {
+			j.finish(outcomeFaulted)
+		}
+	}()
+	ctx := context.Background()
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
+	}
+	sess.Seq++
+	status, body, err := s.cfg.Backend.Serve(ctx, sess, j.r)
+	elapsed := time.Since(start)
+	if s.slow != nil && s.slow.observe(j.set, elapsed) {
+		s.metrics.degradedKeys.Add(1)
+	}
+	if err == nil {
+		j.status, j.body = status, body
+		resolved = true
+		j.finish(outcomeServed)
+		return
+	}
+	s.metrics.backendFailures.Add(1)
+	resolved = true // the failure paths below all resolve or arm a retry; only a panic above leaves !resolved
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		// The budget died inside the backend (deadline-context timeout or a
+		// failure that arrived at the boundary): this is a 504, not a 502,
+		// and retrying is pointless.
+		if j.finish(outcomeExpired) {
+			s.metrics.expired.Add(1)
+		}
+		return
+	}
+	backoff := s.backoffFor(j)
+	if s.retryable(j, backoff) {
+		// Arm the retry OFF the delegate: backing off inline would hold the
+		// set hostage. The timer re-enters the jobs channel, the router
+		// re-delegates through the same set, and per-key order holds across
+		// attempts by construction. retryArmed must be set before the timer
+		// exists so the epoch sweep (which runs after the barrier proved
+		// this operation finished) observes it.
+		j.attempt++
+		j.retryArmed.Store(true)
+		s.metrics.retries.Add(1)
+		time.AfterFunc(backoff, func() { s.jobs <- j })
+		return
+	}
+	// Out of budget, attempts, or idempotency: render the failure.
+	if errors.Is(err, ErrNoBackend) {
+		j.status = http.StatusServiceUnavailable
+		j.body = "no backend available\n"
+	} else {
+		j.status = http.StatusBadGateway
+		j.body = fmt.Sprintf("backend failure after %d attempt(s): %v\n", j.attempt+1, err)
+	}
+	j.finish(outcomeServed)
 }
 
 // rotate closes the epoch and opens the next: the barrier proves the pool
 // quiescent, the sweep resolves jobs whose delegations were dropped on a
 // poison seam (their done channels would otherwise never close), the
 // stats snapshot republishes, and BeginIsolation clears the poison table
-// so faulted keys resume serving. Program context only.
+// so faulted keys resume serving. Rotation is also the tier's maintenance
+// cadence: the slow-key watchdog heals, and the rate limiter evicts idle
+// buckets. Program context only.
 func (s *Server) rotate() {
 	s.rt.EndIsolation()
+	s.sweepEpochJobs()
+	s.epochJobs = s.epochJobs[:0]
+	if s.slow != nil {
+		s.slow.heal()
+	}
+	if s.limiter != nil {
+		s.metrics.bucketsEvicted.Add(uint64(s.limiter.sweep(time.Now())))
+	}
+	st := s.rt.Stats()
+	s.statsSnap.Store(&st)
+	s.rt.BeginIsolation()
+}
+
+// sweepEpochJobs resolves every job the closed epoch left pending. Runs
+// after the EndIsolation barrier, which proves each delegated operation
+// either executed or was deterministically dropped on a poison seam — so
+// a still-pending job here is either (a) dropped (500), or (b) armed for
+// retry (skipped: its operation DID execute, the arming is why it has no
+// outcome, and its timer owns re-delivery). A dropped job whose budget
+// has also expired resolves 504, not 500: the deadline is the promise the
+// tier made first, and "definitive 504 at the epoch sweep, never a parked
+// done-channel" is the deadline contract's backstop. Program context only.
+func (s *Server) sweepEpochJobs() {
+	now := time.Now()
 	for _, j := range s.epochJobs {
+		if j.retryArmed.Load() {
+			continue
+		}
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			if j.finish(outcomeExpired) {
+				s.metrics.expired.Add(1)
+			}
+			continue
+		}
 		if j.finish(outcomeDropped) {
 			s.metrics.droppedJobs.Add(1)
 		}
 	}
-	s.epochJobs = s.epochJobs[:0]
-	st := s.rt.Stats()
-	s.statsSnap.Store(&st)
-	s.rt.BeginIsolation()
 }
 
 // drainRouter is the router's shutdown path: keep serving until every
@@ -376,11 +579,7 @@ func (s *Server) drainRouter() {
 		break
 	}
 	s.rt.EndIsolation()
-	for _, j := range s.epochJobs {
-		if j.finish(outcomeDropped) {
-			s.metrics.droppedJobs.Add(1)
-		}
-	}
+	s.sweepEpochJobs()
 	s.epochJobs = nil
 	st := s.rt.Stats()
 	s.statsSnap.Store(&st)

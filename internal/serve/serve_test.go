@@ -25,7 +25,7 @@ func testHandler(s *Session, r *http.Request) (int, string) {
 
 func newTestServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	if cfg.Handler == nil {
+	if cfg.Handler == nil && cfg.Backend == nil {
 		cfg.Handler = testHandler
 	}
 	s, err := New(cfg)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/durable"
 	"repro/internal/serve"
 )
 
@@ -49,6 +50,11 @@ func main() {
 		burst         = flag.Float64("burst", 10, "per-key token-bucket burst")
 		epochInterval = flag.Duration("epoch-interval", 100*time.Millisecond, "isolation-epoch rotation period")
 		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain straggler deadline")
+
+		// Durable sessions.
+		stateDir  = flag.String("state-dir", "", "session state directory: snapshots + journal, recovered at boot (empty = sessions die with the process)")
+		fsyncMode = flag.String("fsync", "rotation", "journal fsync policy: off (buffered), rotation (sync per epoch, <=1 epoch acked loss), always (sync per request, zero acked loss)")
+		journal   = flag.Bool("journal", true, "intra-epoch journal (false = snapshot-only durability, <=1 epoch loss regardless of -fsync)")
 
 		// Robustness layer.
 		reqTimeout    = flag.Duration("request-timeout", 0, "per-request budget, fixed at admission (0 = no deadlines)")
@@ -105,9 +111,27 @@ func main() {
 	} else {
 		cfg.Handler = handle
 	}
+	if *stateDir != "" {
+		fs, err := durable.NewDirFS(*stateDir)
+		if err != nil {
+			log.Fatalf("ssserve: %v", err)
+		}
+		pol, err := durable.ParseFsync(*fsyncMode)
+		if err != nil {
+			log.Fatalf("ssserve: %v", err)
+		}
+		cfg.StateFS = fs
+		cfg.Fsync = pol
+		cfg.NoJournal = !*journal
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *stateDir != "" {
+		sessions, truncated := srv.Recovered()
+		log.Printf("ssserve: recovered %d sessions from %s (fsync=%s, %d journal records truncated)",
+			sessions, *stateDir, *fsyncMode, truncated)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -396,4 +396,30 @@
 // client side: per-key order across the fleet, bounded healthy p99, an
 // error budget, breaker open-and-recover observed on /metrics, zero
 // hung requests, and drain with nothing accepted left unanswered.
+//
+// # Durable sessions
+//
+// The serving tier's persistence layer (internal/durable, wired in
+// internal/serve) leans on the same barrier that powers fault repair:
+// EndIsolation proves the delegate pool quiescent, which makes the
+// rotation instant a consistent cut of all session state — no request is
+// half-applied anywhere, and per-key causal order means the cut contains
+// every effect of each acknowledged request or none of its successors.
+// So the router captures dirty sessions at the barrier and hands them to
+// a write-behind snapshot writer (checksummed records, write-temp-sync-
+// rename commit, generational GC), swapping in the next epoch's journal
+// at the same instant so the closing journal is provably a subset of the
+// snapshot being written. Between rotations each executed request
+// appends its session's post-state to the journal before its response is
+// released; the fsync policy (per-request, per-rotation, or never)
+// buys the operator an explicit acked-loss bound under kill -9. Boot
+// recovery walks back to the newest valid snapshot, replays journal
+// generations on top (monotonic by sequence, so overlap is harmless),
+// truncates a torn tail at the first bad frame, and commits a fresh boot
+// snapshot before admission. Failures degrade rather than wedge: a
+// failed commit or append is counted and serving continues on the
+// previous recovery point. The crash-restart drill (ssload -recovery)
+// proves the bounds against real processes: SIGKILL mid-traffic,
+// restart on the same state dir, and per-key assertions that no
+// acknowledged sequence regressed past the policy's floor.
 package prometheus

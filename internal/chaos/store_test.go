@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/durable"
+)
+
+func TestErrorsAfter(t *testing.T) {
+	e := ErrorsAfter(3)
+	for i := 1; i <= 3; i++ {
+		if err := e.Err(0); err != nil {
+			t.Fatalf("op %d: unexpected fault %v", i, err)
+		}
+	}
+	for i := 4; i <= 6; i++ {
+		if err := e.Err(0); err == nil {
+			t.Fatalf("op %d: want permanent fault", i)
+		}
+	}
+}
+
+func TestFaultyFSCleanRefusal(t *testing.T) {
+	mem := durable.NewMemFS()
+	ffs := WrapFS(mem, ErrorsAfter(0)) // every write fails
+	st := durable.NewStore(ffs)
+
+	if _, err := st.CommitSnapshot(1, [][]byte{[]byte("x")}); err == nil {
+		t.Fatal("want snapshot commit to fail under write faults")
+	}
+	if ffs.Faults() == 0 {
+		t.Fatal("no faults counted")
+	}
+	// A clean refusal leaves nothing behind: no committed snapshot, and the
+	// temp file was removed on the error path.
+	if st.HasSnapshot(1) {
+		t.Fatal("failed commit left a committed snapshot")
+	}
+	names, _ := mem.List()
+	if len(names) != 0 {
+		t.Fatalf("failed commit left files behind: %v", names)
+	}
+}
+
+func TestFaultyFSPreservesPreviousGeneration(t *testing.T) {
+	mem := durable.NewMemFS()
+	// A snapshot commit is one buffered Write: op 1 is generation 1's,
+	// then storage goes bad.
+	ffs := WrapFS(mem, ErrorsAfter(1))
+	st := durable.NewStore(ffs)
+
+	if _, err := st.CommitSnapshot(1, [][]byte{[]byte("good")}); err != nil {
+		t.Fatalf("healthy commit: %v", err)
+	}
+	if _, err := st.CommitSnapshot(2, [][]byte{[]byte("bad")}); err == nil {
+		t.Fatal("want commit 2 to fail")
+	}
+	// The degradation contract: a failed commit never regresses the store.
+	rec, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fresh || rec.SnapshotGen != 1 || string(rec.SnapshotRecords[0]) != "good" {
+		t.Fatalf("previous generation lost: %+v", rec)
+	}
+}
+
+func TestFaultyFSShortWriteTearsJournal(t *testing.T) {
+	mem := durable.NewMemFS()
+	ffs := WrapFS(mem, ErrorsAfter(2))
+	ffs.Short = true
+	st := durable.NewStore(ffs)
+
+	j, err := st.OpenJournal(1, durable.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append([]byte("record-one"))
+	j.Append([]byte("record-two"))
+	// Third append's write is torn: half the frame reaches the file.
+	if err := j.Append([]byte("record-three")); err == nil {
+		t.Fatal("want torn append to fail")
+	}
+	// The journal refuses further appends on a torn file — frames after
+	// the tear would be unreadable anyway.
+	if err := j.Append([]byte("record-four")); err == nil {
+		t.Fatal("want appends refused after a tear")
+	}
+
+	// Recovery keeps the valid prefix and truncates the torn tail.
+	rec, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.JournalRecords) != 2 {
+		t.Fatalf("want 2-record prefix, got %d", len(rec.JournalRecords))
+	}
+	if rec.TruncatedRecords != 1 || rec.TruncatedBytes == 0 {
+		t.Fatalf("tear not accounted: %+v", rec)
+	}
+}
+
+func TestFaultyFSSeededDeterminism(t *testing.T) {
+	run := func() (faults uint64, journal int) {
+		mem := durable.NewMemFS()
+		ffs := WrapFS(mem, SeededErrors(42, 0.3))
+		st := durable.NewStore(ffs)
+		j, _ := st.OpenJournal(1, durable.FsyncAlways)
+		for i := 0; i < 50; i++ {
+			j.Append([]byte("payload"))
+		}
+		j.Close()
+		rec, _ := st.Recover()
+		return ffs.Faults(), len(rec.JournalRecords)
+	}
+	f1, n1 := run()
+	f2, n2 := run()
+	if f1 != f2 || n1 != n2 {
+		t.Fatalf("seeded profile not deterministic: (%d,%d) vs (%d,%d)", f1, n1, f2, n2)
+	}
+	if f1 == 0 {
+		t.Fatal("seeded profile injected nothing at p=0.3 over 50 writes")
+	}
+}

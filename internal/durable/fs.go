@@ -1,0 +1,224 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the storage seam under the durability layer: a flat namespace of
+// append-or-truncate files with rename and sync. It is deliberately narrow —
+// exactly the operations the snapshot commit protocol (write temp, sync,
+// rename) and the journal (append, sync) need — so the whole layer runs
+// unchanged over a real directory (DirFS), an in-memory map (MemFS, for
+// unit tests), or a chaos wrapper injecting write faults
+// (internal/chaos.FaultyFS).
+type FS interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if missing.
+	Append(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Rename atomically replaces newname with oldname's content. On a
+	// POSIX directory this is the snapshot commit point: a crash before
+	// the rename leaves only temp garbage, a crash after leaves the
+	// complete new generation.
+	Rename(oldname, newname string) error
+	// Remove deletes name. Removing a missing file is not an error.
+	Remove(name string) error
+	// List returns every file name in the store, in any order.
+	List() ([]string, error)
+}
+
+// File is a writable handle. Sync flushes the file's content to stable
+// storage (fsync on a real file system).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// DirFS is the real, directory-backed FS.
+type DirFS struct {
+	dir string
+}
+
+// NewDirFS creates dir if needed and returns an FS rooted there.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: state dir: %w", err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+func (d *DirFS) path(name string) string { return filepath.Join(d.dir, filepath.Base(name)) }
+
+func (d *DirFS) Create(name string) (File, error) {
+	return os.OpenFile(d.path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (d *DirFS) Append(name string) (File, error) {
+	return os.OpenFile(d.path(name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (d *DirFS) Open(name string) (io.ReadCloser, error) {
+	return os.Open(d.path(name))
+}
+
+func (d *DirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.path(oldname), d.path(newname))
+}
+
+func (d *DirFS) Remove(name string) error {
+	err := os.Remove(d.path(name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (d *DirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// MemFS is the in-memory FS for tests: same semantics as DirFS (atomic
+// rename, append, truncate-on-create) over a mutex-guarded map. A MemFS
+// survives "process death" by construction — dropping every Store and
+// Journal built on it and building new ones models a kill -9 that loses
+// user-space buffers but keeps everything the journal flushed, which is
+// exactly the loss model of a SIGKILL on a real file system (page-cache
+// writes survive process death; only unflushed user-space buffers die).
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*bytes.Buffer
+}
+
+// NewMemFS returns an empty in-memory FS.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*bytes.Buffer)}
+}
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("durable: write to closed file %q", f.name)
+	}
+	buf := f.fs.files[f.name]
+	if buf == nil {
+		buf = &bytes.Buffer{}
+		f.fs.files[f.name] = buf
+	}
+	return buf.Write(p)
+}
+
+func (f *memFile) Sync() error { return nil }
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	f.closed = true
+	f.fs.mu.Unlock()
+	return nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	m.files[name] = &bytes.Buffer{}
+	m.mu.Unlock()
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	if m.files[name] == nil {
+		m.files[name] = &bytes.Buffer{}
+	}
+	m.mu.Unlock()
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("durable: %q: %w", name, os.ErrNotExist)
+	}
+	cp := make([]byte, buf.Len())
+	copy(cp, buf.Bytes())
+	return io.NopCloser(bytes.NewReader(cp)), nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("durable: rename %q: %w", oldname, os.ErrNotExist)
+	}
+	m.files[newname] = buf
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	delete(m.files, name)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Corrupt flips one byte at off in name — the unit tests' bit-rot
+// injector. Panics if the file or offset does not exist (a test bug).
+func (m *MemFS) Corrupt(name string, off int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[name]
+	if !ok || off >= buf.Len() {
+		panic(fmt.Sprintf("durable: MemFS.Corrupt(%q, %d): no such byte", name, off))
+	}
+	buf.Bytes()[off] ^= 0xff
+}
+
+// Len reports the current size of name, 0 if absent — for tests asserting
+// what reached the store.
+func (m *MemFS) Len(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if buf, ok := m.files[name]; ok {
+		return buf.Len()
+	}
+	return 0
+}

@@ -66,6 +66,25 @@ type Profile struct {
 	// Assertion bounds, enforced by Check when non-zero.
 	MaxP99       time.Duration // p99 over healthy (2xx) responses
 	MaxErrorRate float64       // max fraction of 5xx responses other than expected 504/503 sheds
+
+	// TrackAcks records every acknowledged (key, seq) with its client
+	// receive time in Result.Acks — the evidence base the crash-recovery
+	// harness computes durable floors from (see recovery.go).
+	TrackAcks bool
+
+	// Stop, when non-nil, ends the run early: workers check it between
+	// requests and return without issuing more. The recovery harness
+	// closes it right after SIGKILLing the server, so phase-1 "requests"
+	// are real traffic, not a tail of connection-refused spins.
+	Stop <-chan struct{}
+}
+
+// AckPoint is one acknowledged response: the sequence the server returned
+// and when the client finished reading it. An AckPoint is the client-side
+// definition of "acked" that the fsync loss bounds are stated over.
+type AckPoint struct {
+	Seq uint64
+	At  time.Time
 }
 
 func (p *Profile) withDefaults() error {
@@ -110,6 +129,27 @@ type Result struct {
 
 	P50, P99, Max time.Duration // over healthy responses
 	Healthy       int           // 2xx count feeding the quantiles
+
+	// Acks collects acknowledged sequences per key, in receive order per
+	// worker (interleaved across workers). Nil unless Profile.TrackAcks.
+	Acks map[string][]AckPoint
+}
+
+// MaxAckedBefore returns the highest sequence acknowledged for key at or
+// before cutoff (zero cutoff = no bound, consider every ack). This is the
+// durable floor: under fsync=always the floor uses no cutoff; under
+// fsync=rotation the caller passes killTime minus a rotation margin.
+func (r *Result) MaxAckedBefore(key string, cutoff time.Time) uint64 {
+	var max uint64
+	for _, a := range r.Acks[key] {
+		if !cutoff.IsZero() && a.At.After(cutoff) {
+			continue
+		}
+		if a.Seq > max {
+			max = a.Seq
+		}
+	}
+	return max
 }
 
 // run-internal per-worker state: splitmix64 stream + last-seen seq per key.
@@ -152,6 +192,9 @@ func Run(p Profile) (*Result, error) {
 
 	hist := prometheus.NewHistogram(latencyBounds...)
 	res := &Result{ByStatus: map[int]int{}}
+	if p.TrackAcks {
+		res.Acks = map[string][]AckPoint{}
+	}
 	var (
 		mu   sync.Mutex // guards res and seen
 		seen = map[string]map[uint64]bool{}
@@ -173,6 +216,11 @@ func Run(p Profile) (*Result, error) {
 			defer wg.Done()
 			w := &worker{rng: p.Seed ^ (uint64(wi)+1)*0x9e3779b97f4a7c15, last: map[string]uint64{}}
 			for i := 0; i < n; i++ {
+				select {
+				case <-p.Stop: // nil channel never fires
+					return
+				default:
+				}
 				key := pickKey(w, &p)
 				start := time.Now()
 				status, body, err := doGet(client, base+"/bump", key)
@@ -210,6 +258,9 @@ func Run(p Profile) (*Result, error) {
 							res.DupSeqs++
 						}
 						ks[seq] = true
+						if p.TrackAcks {
+							res.Acks[key] = append(res.Acks[key], AckPoint{Seq: seq, At: start.Add(lat)})
+						}
 					}
 				}
 				mu.Unlock()

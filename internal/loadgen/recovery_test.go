@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildServer compiles the real ssserve binary once per test binary —
+// the recovery drill is about surviving SIGKILL, which only a separate
+// process can demonstrate (an in-process "kill" cannot lose user-space
+// buffers the way a dead process does).
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ssserve")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/ssserve")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/ssserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runDrill(t *testing.T, bin, fsync string) *RecoveryResult {
+	t.Helper()
+	res, err := RunRecovery(RecoveryProfile{
+		ServerBin:     bin,
+		StateDir:      filepath.Join(t.TempDir(), "state"),
+		Fsync:         fsync,
+		EpochInterval: 20 * time.Millisecond,
+		KillAfter:     600 * time.Millisecond,
+		Phase1:        Profile{Workers: 6, HotKeys: 2, ColdKeys: 16},
+		Phase2:        Profile{Workers: 6, Requests: 800, HotKeys: 2, ColdKeys: 16, Seed: 7},
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("fsync=%s drill: %v", fsync, err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("fsync=%s: VIOLATION: %s", fsync, v)
+	}
+	if res.ProbedKeys == 0 {
+		t.Fatalf("fsync=%s: no boundary probes ran", fsync)
+	}
+	return res
+}
+
+// TestCrashRecoveryFsyncAlways is the strongest contract: SIGKILL
+// mid-traffic, restart on the same state dir, and NO acknowledged
+// response may be lost — every boundary probe must return a sequence
+// strictly above its key's max acked sequence.
+func TestCrashRecoveryFsyncAlways(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	bin := buildServer(t)
+	res := runDrill(t, bin, "always")
+	if res.RecoveredSessions == 0 {
+		t.Fatal("restart recovered no sessions")
+	}
+}
+
+// TestCrashRecoveryFsyncRotation allows at most one epoch of acked tail
+// loss: probes are checked against the floor of acks older than two
+// epochs before the kill.
+func TestCrashRecoveryFsyncRotation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	bin := buildServer(t)
+	res := runDrill(t, bin, "rotation")
+	if res.RecoveredSessions == 0 {
+		t.Fatal("restart recovered no sessions")
+	}
+}

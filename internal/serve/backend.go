@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -78,15 +79,19 @@ func (hb *HandlerBackend) Serve(ctx context.Context, s *Session, r *http.Request
 
 // HTTPBackend proxies requests to an upstream HTTP server — the serving
 // tier as a session-affinity router in front of a real fleet. The upstream
-// sees the original method, path, and query, plus the session key in
-// X-Session-Key; the request deadline propagates as the outgoing request's
-// context, so a slow upstream resolves as a timeout error at the budget
-// boundary. Transport errors and upstream 5xx count as backend failures
-// (breaker + retry); every other status is a definitive answer relayed to
-// the client.
+// sees the original method, path, and query, the request body (capped at
+// maxProxyBody — the same bound the response side carries), the original
+// Content-Type, and the session key in X-Session-Key; the request deadline
+// propagates as the outgoing request's context, so a slow upstream
+// resolves as a timeout error at the budget boundary. Transport errors and
+// upstream 5xx count as backend failures (breaker + retry); every other
+// status is a definitive answer relayed to the client.
 //
-// The proxy forwards no request body: the serving shapes it exists for are
-// GET-shaped (and only bodyless idempotent requests are safely retried).
+// The body is read once and cached on the request (r.GetBody), so a
+// retried attempt — the router re-delegates idempotent requests through
+// the same job — replays the same bytes instead of finding a drained
+// reader. A body over the cap is a definitive 413, not a backend failure:
+// retrying would re-send the same oversized payload.
 type HTTPBackend struct {
 	name   string
 	base   *url.URL
@@ -117,12 +122,26 @@ func NewHTTPBackend(name, baseURL string, client *http.Client) (*HTTPBackend, er
 func (hb *HTTPBackend) Name() string { return hb.name }
 
 func (hb *HTTPBackend) Serve(ctx context.Context, s *Session, r *http.Request) (int, string, error) {
+	payload, status, errBody := proxyBody(r)
+	if status != 0 {
+		return status, "request body exceeds the proxy cap\n", nil
+	}
+	if errBody != nil {
+		return 0, "", errBody
+	}
 	u := *hb.base
 	u.Path = r.URL.Path
 	u.RawQuery = r.URL.RawQuery
-	req, err := http.NewRequestWithContext(ctx, r.Method, u.String(), nil)
+	var bodyReader io.Reader
+	if payload != nil {
+		bodyReader = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u.String(), bodyReader)
 	if err != nil {
 		return 0, "", err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
 	}
 	req.Header.Set("X-Session-Key", s.Key)
 	resp, err := hb.client.Do(req)
@@ -138,6 +157,45 @@ func (hb *HTTPBackend) Serve(ctx context.Context, s *Session, r *http.Request) (
 		return 0, "", fmt.Errorf("upstream status %d", resp.StatusCode)
 	}
 	return resp.StatusCode, string(body), nil
+}
+
+// proxyBody reads the inbound request body once (bounded by maxProxyBody)
+// and caches it on the request via r.GetBody, so a retried attempt
+// replays the same bytes instead of finding a reader the first attempt
+// drained. Returns (payload, 0, nil) on success — payload nil when the
+// request carries no body — (nil, 413, nil) when the body exceeds the
+// cap (definitive: a retry would re-send the same oversized payload),
+// and a non-nil error when the client stream broke mid-read (a backend
+// failure from the caller's perspective, though retrying it will fail
+// the same way until the request is shed).
+func proxyBody(r *http.Request) ([]byte, int, error) {
+	rc := r.Body
+	if r.GetBody != nil {
+		// A prior attempt (or the client) cached the body; re-open it.
+		var err error
+		if rc, err = r.GetBody(); err != nil {
+			return nil, 0, err
+		}
+	}
+	if rc == nil || rc == http.NoBody {
+		return nil, 0, nil
+	}
+	b, err := io.ReadAll(io.LimitReader(rc, maxProxyBody+1))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) > maxProxyBody {
+		return nil, http.StatusRequestEntityTooLarge, nil
+	}
+	if len(b) == 0 {
+		return nil, 0, nil
+	}
+	if r.GetBody == nil {
+		r.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(b)), nil
+		}
+	}
+	return b, 0, nil
 }
 
 // ChaosBackend wraps a backend with the deterministic degraded-downstream

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -271,6 +274,217 @@ func TestHTTPBackendProxiesAndClassifies(t *testing.T) {
 	}
 	if _, err := NewHTTPBackend("x", "/relative", nil); err == nil {
 		t.Fatal("schemeless URL accepted")
+	}
+}
+
+// TestHTTPBackendForwardsBody: the proxy must carry the request body and
+// Content-Type upstream, and the body must survive a retry — the second
+// Serve call on the same request (how the router re-delegates after a
+// backend failure) replays the cached bytes, not a drained reader.
+func TestHTTPBackendForwardsBody(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "method=%s ct=%s body=%s", r.Method, r.Header.Get("Content-Type"), b)
+	}))
+	defer upstream.Close()
+
+	hb, err := NewHTTPBackend("up", upstream.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &Session{Key: "alice", Set: 1}
+	r := httptest.NewRequest("POST", "/submit", strings.NewReader(`{"n":1}`))
+	r.Header.Set("Content-Type", "application/json")
+
+	want := `method=POST ct=application/json body={"n":1}`
+	for attempt := 1; attempt <= 2; attempt++ {
+		status, body, err := hb.Serve(context.Background(), sess, r)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("attempt %d: %d %q %v", attempt, status, body, err)
+		}
+		if body != want {
+			t.Fatalf("attempt %d echoed %q, want %q", attempt, body, want)
+		}
+	}
+
+	// A bodyless GET still forwards none.
+	g := httptest.NewRequest("GET", "/submit", nil)
+	status, body, err := hb.Serve(context.Background(), sess, g)
+	if err != nil || status != http.StatusOK || !strings.Contains(body, "body=") {
+		t.Fatalf("GET: %d %q %v", status, body, err)
+	}
+	if !strings.HasSuffix(body, "body=") {
+		t.Fatalf("bodyless GET forwarded a body: %q", body)
+	}
+}
+
+// TestHTTPBackendBodyCapEnforced: a body over maxProxyBody is refused with
+// a definitive 413 (nil error — no breaker feed, no retry) and the
+// upstream is never contacted.
+func TestHTTPBackendBodyCapEnforced(t *testing.T) {
+	var hits atomic.Int64
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer upstream.Close()
+
+	hb, err := NewHTTPBackend("up", upstream.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &Session{Key: "k", Set: 1}
+	big := strings.NewReader(strings.Repeat("x", maxProxyBody+1))
+	r := httptest.NewRequest("POST", "/submit", big)
+
+	status, _, err := hb.Serve(context.Background(), sess, r)
+	if err != nil {
+		t.Fatalf("over-cap body classified as backend failure: %v", err)
+	}
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", status)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("upstream contacted %d times for an over-cap body", hits.Load())
+	}
+
+	// Exactly at the cap is fine.
+	ok := httptest.NewRequest("POST", "/submit", strings.NewReader(strings.Repeat("x", maxProxyBody)))
+	status, _, err = hb.Serve(context.Background(), sess, ok)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("at-cap body: %d %v", status, err)
+	}
+}
+
+// signalingFailBackend fails every call and signals each attempt, so a
+// test can synchronize with the retry ladder.
+type signalingFailBackend struct {
+	attempts chan struct{}
+}
+
+func (f *signalingFailBackend) Name() string { return "always-down" }
+func (f *signalingFailBackend) Serve(ctx context.Context, s *Session, r *http.Request) (int, string, error) {
+	select {
+	case f.attempts <- struct{}{}:
+	default:
+	}
+	return 0, "", errors.New("down")
+}
+
+// TestDrainWithArmedRetry: a retry armed via time.AfterFunc owns its job
+// while the timer runs — not finished, not in flight. Drain must keep the
+// router consuming until the timer re-delivers and the ladder exhausts:
+// the request resolves (502), Drain returns nil, and the late timer send
+// lands in a channel that is still open (the jobs channel is never
+// closed). A drain that raced the timer would either panic on a closed
+// channel or report an unanswered request; this pins that neither happens.
+func TestDrainWithArmedRetry(t *testing.T) {
+	fb := &signalingFailBackend{attempts: make(chan struct{}, 16)}
+	s := newTestServer(t, Config{
+		Backend:       fb,
+		RetryMax:      3,
+		RetryBase:     40 * time.Millisecond,
+		EpochInterval: 20 * time.Millisecond,
+	})
+	h := s.Handler()
+
+	type resp struct {
+		code int
+		body string
+	}
+	done := make(chan resp, 1)
+	go func() {
+		r := httptest.NewRequest("GET", "/", nil)
+		r.Header.Set("X-Session-Key", "k")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		done <- resp{w.Code, w.Body.String()}
+	}()
+
+	// First attempt has failed; the retry timer is armed (or about to be)
+	// while we start the drain.
+	<-fb.attempts
+	if err := s.Drain(); err != nil {
+		t.Fatalf("Drain with an armed retry: %v", err)
+	}
+	r := <-done
+	if r.code != http.StatusBadGateway {
+		t.Fatalf("retried request resolved %d %q, want 502", r.code, r.body)
+	}
+	if !strings.Contains(r.body, "4 attempt(s)") {
+		t.Fatalf("body %q: the full retry ladder did not run across the drain", r.body)
+	}
+}
+
+// countingBackend answers 200 and counts calls atomically.
+type countingBackend struct {
+	name  string
+	calls atomic.Int64
+}
+
+func (c *countingBackend) Name() string { return c.name }
+func (c *countingBackend) Serve(ctx context.Context, s *Session, r *http.Request) (int, string, error) {
+	c.calls.Add(1)
+	return http.StatusOK, c.name, nil
+}
+
+// TestPoolRoundRobinFairness: with every breaker closed, rotation is
+// driven by an atomic counter, so N concurrent calls across 3 backends
+// split exactly N/3 each — no backend is hot-spotted by racing clients.
+func TestPoolRoundRobinFairness(t *testing.T) {
+	bs := []*countingBackend{{name: "b0"}, {name: "b1"}, {name: "b2"}}
+	p := NewPool(3, time.Second, bs[0], bs[1], bs[2])
+	sess := &Session{Key: "k", Set: 1}
+	r := httptest.NewRequest("GET", "/", nil)
+
+	const total = 300
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := p.Serve(context.Background(), sess, r); err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, b := range bs {
+		if n := b.calls.Load(); n != total/3 {
+			t.Errorf("backend %s served %d, want %d", b.name, n, total/3)
+		}
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: when the cooldown expires, concurrent
+// callers race for the half-open probe slot and exactly one may win —
+// two winners would double-probe a backend that earned a gentle restart.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(1, time.Second)
+	if !b.allow(now) {
+		t.Fatal("closed breaker denied")
+	}
+	b.onFailure(now) // threshold 1: open
+
+	later := now.Add(2 * time.Second)
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.allow(later) {
+				wins.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d callers won the half-open probe slot, want exactly 1", wins.Load())
 	}
 }
 

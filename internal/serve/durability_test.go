@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/durable"
+)
+
+// durableCfg is the common durable-session test shape: in-memory storage
+// so "process death" is dropping the Server, a long epoch so rotations
+// happen only when a test asks for them.
+func durableCfg(fs durable.FS, fsync durable.FsyncPolicy) Config {
+	return Config{
+		StateFS:       fs,
+		Fsync:         fsync,
+		EpochInterval: time.Hour,
+	}
+}
+
+// bump drives the seq-returning test handler once and parses nothing: the
+// body IS the post-increment sequence number.
+func bump(t *testing.T, h http.Handler, key string) string {
+	t.Helper()
+	code, body := get(t, h, "/bump", key, nil)
+	if code != http.StatusOK {
+		t.Fatalf("key %s: status %d body %q", key, code, body)
+	}
+	return body
+}
+
+func TestDurableRecoveryAfterDrain(t *testing.T) {
+	fs := durable.NewMemFS()
+
+	s1 := newTestServer(t, durableCfg(fs, durable.FsyncOff))
+	h1 := s1.Handler()
+	for i := 0; i < 5; i++ {
+		bump(t, h1, "alice")
+	}
+	for i := 0; i < 3; i++ {
+		bump(t, h1, "bob")
+	}
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean drain is lossless under EVERY fsync policy (final synchronous
+	// snapshot), including off.
+	s2 := newTestServer(t, durableCfg(fs, durable.FsyncOff))
+	defer s2.Drain()
+	h2 := s2.Handler()
+	if got := bump(t, h2, "alice"); got != "6" {
+		t.Fatalf("alice after restart: seq %s, want 6", got)
+	}
+	if got := bump(t, h2, "bob"); got != "4" {
+		t.Fatalf("bob after restart: seq %s, want 4", got)
+	}
+	if s2.recovered.sessions != 2 {
+		t.Fatalf("recovered %d sessions, want 2", s2.recovered.sessions)
+	}
+
+	// The recovery surface: /healthz carries the rebuilt counts.
+	code, body := get(t, h2, "/healthz", "x", nil)
+	if code != http.StatusOK || !strings.Contains(body, "recovered_sessions 2") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if !strings.Contains(body, "journal_truncated_records 0") {
+		t.Fatalf("healthz = %q", body)
+	}
+}
+
+func TestDurableRecoveryRestoresSessionData(t *testing.T) {
+	fs := durable.NewMemFS()
+	kv := func(s *Session, r *http.Request) (int, string) {
+		if v := r.URL.Query().Get("set"); v != "" {
+			s.Data["v"] = v
+		}
+		return http.StatusOK, s.Data["v"]
+	}
+
+	s1 := newTestServer(t, Config{StateFS: fs, Fsync: durable.FsyncAlways, EpochInterval: time.Hour, Handler: kv})
+	if _, body := get(t, s1.Handler(), "/kv?set=hello", "k", nil); body != "hello" {
+		t.Fatalf("put: %q", body)
+	}
+	s1.kill() // journaled under always: durable without drain or rotation
+
+	s2 := newTestServer(t, Config{StateFS: fs, Fsync: durable.FsyncAlways, EpochInterval: time.Hour, Handler: kv})
+	defer s2.Drain()
+	if _, body := get(t, s2.Handler(), "/kv", "k", nil); body != "hello" {
+		t.Fatalf("KV state lost across kill: got %q, want %q", body, "hello")
+	}
+}
+
+func TestFsyncAlwaysSurvivesKill(t *testing.T) {
+	fs := durable.NewMemFS()
+	s1 := newTestServer(t, durableCfg(fs, durable.FsyncAlways))
+	h1 := s1.Handler()
+	for i := 0; i < 7; i++ {
+		bump(t, h1, "alice")
+	}
+	s1.kill() // no drain, no rotation ever ran: only the journal has the state
+
+	s2 := newTestServer(t, durableCfg(fs, durable.FsyncAlways))
+	defer s2.Drain()
+	if got := bump(t, s2.Handler(), "alice"); got != "8" {
+		t.Fatalf("acked loss under fsync=always: next seq %s, want 8", got)
+	}
+}
+
+func TestFsyncOffLosesBufferedRecordsOnKill(t *testing.T) {
+	fs := durable.NewMemFS()
+	s1 := newTestServer(t, durableCfg(fs, durable.FsyncOff))
+	h1 := s1.Handler()
+	for i := 0; i < 7; i++ {
+		bump(t, h1, "alice")
+	}
+	s1.kill() // the 7 records sit in the journal's user-space buffer: gone
+
+	s2 := newTestServer(t, durableCfg(fs, durable.FsyncOff))
+	defer s2.Drain()
+	if got := bump(t, s2.Handler(), "alice"); got != "1" {
+		t.Fatalf("fsync=off after kill: next seq %s, want 1 (buffered records are the documented loss)", got)
+	}
+}
+
+func TestFsyncRotationBoundsLossToOneEpoch(t *testing.T) {
+	fs := durable.NewMemFS()
+	cfg := durableCfg(fs, durable.FsyncRotation)
+	cfg.EpochInterval = 20 * time.Millisecond
+	s1 := newTestServer(t, cfg)
+	h1 := s1.Handler()
+	for i := 0; i < 5; i++ {
+		bump(t, h1, "alice")
+	}
+	// Let at least one rotation capture + sync the journal, then a final
+	// burst that may or may not survive the kill.
+	time.Sleep(100 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		bump(t, h1, "alice")
+	}
+	s1.kill()
+
+	s2 := newTestServer(t, durableCfg(fs, durable.FsyncRotation))
+	defer s2.Drain()
+	got := bump(t, s2.Handler(), "alice")
+	// The bound: everything synced at the last rotation (seq >= 5) is
+	// recovered; the post-rotation burst is at-most-one-epoch loss.
+	if got != "6" && got != "7" && got != "8" && got != "9" {
+		t.Fatalf("fsync=rotation after kill: next seq %s, want >= 6 (pre-rotation records are durable)", got)
+	}
+}
+
+func TestSnapshotFailureDegradesGracefully(t *testing.T) {
+	inner := durable.NewMemFS()
+	// The boot snapshot is one write (op 1); everything after fails —
+	// storage went bad while serving.
+	ffs := chaos.WrapFS(inner, chaos.ErrorsAfter(1))
+
+	cfg := Config{
+		StateFS:       ffs,
+		NoJournal:     true, // snapshot-only: every FS write is a commit
+		EpochInterval: 15 * time.Millisecond,
+	}
+	s := newTestServer(t, cfg)
+	h := s.Handler()
+
+	bootGen := s.snapGen
+	for i := 1; i <= 20; i++ {
+		if got := bump(t, h, "alice"); got != strconv.Itoa(i) {
+			t.Fatalf("request %d: seq %s — serving degraded by snapshot failures", i, got)
+		}
+		time.Sleep(5 * time.Millisecond) // spans several rotations
+	}
+
+	// The failures were counted and surfaced.
+	_, metrics := get(t, h, "/metrics", "x", nil)
+	if !strings.Contains(metrics, "ss_snapshot_failures_total") {
+		t.Fatalf("metrics missing snapshot failure counter:\n%.400s", metrics)
+	}
+	if s.metrics.snapshotFailures.Load() == 0 {
+		t.Fatal("no snapshot failures counted despite a failing store")
+	}
+
+	// The degradation contract: the boot generation is still the valid
+	// recovery point — a failed commit never regressed it.
+	rec, err := durable.NewStore(inner).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fresh || rec.SnapshotGen != bootGen {
+		t.Fatalf("recovery point regressed: %+v (boot gen %d)", rec, bootGen)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornJournalTailTruncatedAtBoot(t *testing.T) {
+	fs := durable.NewMemFS()
+	s1 := newTestServer(t, durableCfg(fs, durable.FsyncAlways))
+	h1 := s1.Handler()
+	for i := 0; i < 4; i++ {
+		bump(t, h1, "alice")
+	}
+	gen := s1.snapGen
+	s1.kill()
+
+	// Corrupt the journal's LAST record in place — the on-disk shape of a
+	// crash mid-append.
+	walLen := fs.Len(durable.JournalName(gen))
+	fs.Corrupt(durable.JournalName(gen), walLen-1)
+
+	s2 := newTestServer(t, durableCfg(fs, durable.FsyncAlways))
+	defer s2.Drain()
+	if s2.recovered.truncatedRecords != 1 {
+		t.Fatalf("truncated %d records, want 1", s2.recovered.truncatedRecords)
+	}
+	// Bounded loss, not a crash loop: the valid prefix (seqs 1..3) is the
+	// recovered state, so the next sequence is 4.
+	if got := bump(t, s2.Handler(), "alice"); got != "4" {
+		t.Fatalf("after torn-tail truncation: next seq %s, want 4", got)
+	}
+	_, body := get(t, s2.Handler(), "/healthz", "x", nil)
+	if !strings.Contains(body, "journal_truncated_records 1") {
+		t.Fatalf("healthz = %q", body)
+	}
+}
+
+func TestDurableIdleWritesNothing(t *testing.T) {
+	fs := durable.NewMemFS()
+	cfg := durableCfg(fs, durable.FsyncRotation)
+	cfg.EpochInterval = 10 * time.Millisecond
+	s := newTestServer(t, cfg)
+	time.Sleep(80 * time.Millisecond) // many rotations, zero requests
+	if n := s.metrics.snapshots.Load(); n != 0 {
+		t.Fatalf("idle server committed %d snapshots (dirty tracking broken)", n)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+

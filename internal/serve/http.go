@@ -48,6 +48,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.WriteHeader(status)
 	fmt.Fprintf(w, "%s\npoisoned_keys %d\ngated_backends %d\ndegraded_keys %d\n",
 		state, s.rt.PoisonedCount(), gated, degraded)
+	if s.store != nil {
+		// Durability detail: what the last startup rebuilt (and had to
+		// discard), so an operator — or the crash-restart harness — can
+		// tell a clean recovery from a truncated one without scraping.
+		fmt.Fprintf(w, "recovered_sessions %d\njournal_truncated_records %d\n",
+			s.recovered.sessions, s.recovered.truncatedRecords)
+	}
 }
 
 // ServeHTTP is the request path: admission gates on the handler

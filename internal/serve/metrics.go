@@ -46,6 +46,17 @@ type metrics struct {
 	backendFailures  atomic.Uint64 // backend error returns (pre-retry; includes all-gated)
 	degradedKeys     atomic.Uint64 // keys degraded by the watchdog (cumulative trips)
 	bucketsEvicted   atomic.Uint64 // idle rate-limit buckets evicted at rotations
+
+	// Durability (zero unless Config.StateFS is set — see durability.go).
+	snapshots        atomic.Uint64 // snapshot generations committed
+	snapshotFailures atomic.Uint64 // commits that failed (previous generation retained)
+	snapshotSkipped  atomic.Uint64 // captures dropped because the writer was busy
+	snapLastBytes    atomic.Uint64 // size of the last committed snapshot
+	snapLastRecords  atomic.Uint64 // sessions in the last committed snapshot
+	snapLastMicros   atomic.Uint64 // commit duration of the last snapshot
+	journalRecords   atomic.Uint64 // session records journaled
+	journalFailures  atomic.Uint64 // journal appends/swaps that failed
+	journalSyncs     atomic.Uint64 // explicit journal fsyncs (per append or per rotation)
 }
 
 func newMetrics(shards int) *metrics {
@@ -88,6 +99,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ss_backend_failures_total", "Backend error returns (before retry resolution).", m.backendFailures.Load())
 	counter("ss_degraded_keys_total", "Keys degraded by the slow-key watchdog.", m.degradedKeys.Load())
 	counter("ss_ratelimit_evicted_total", "Idle rate-limit buckets evicted at epoch rotations.", m.bucketsEvicted.Load())
+
+	if s.store != nil {
+		counter("ss_snapshots_total", "Session snapshot generations committed.", m.snapshots.Load())
+		counter("ss_snapshot_failures_total", "Snapshot commits that failed (previous generation retained).", m.snapshotFailures.Load())
+		counter("ss_snapshot_skipped_total", "Epoch captures dropped because the snapshot writer was busy.", m.snapshotSkipped.Load())
+		counter("ss_journal_records_total", "Session records appended to the intra-epoch journal.", m.journalRecords.Load())
+		counter("ss_journal_failures_total", "Journal appends or generation swaps that failed.", m.journalFailures.Load())
+		counter("ss_journal_syncs_total", "Explicit journal fsyncs (per append under always, per rotation under rotation).", m.journalSyncs.Load())
+		gauge := func(name, help string, v uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("ss_snapshot_last_bytes", "Size of the last committed snapshot.", m.snapLastBytes.Load())
+		gauge("ss_snapshot_last_records", "Sessions in the last committed snapshot.", m.snapLastRecords.Load())
+		gauge("ss_snapshot_last_duration_microseconds", "Commit duration of the last snapshot.", m.snapLastMicros.Load())
+		gauge("ss_recovered_sessions", "Sessions rebuilt from storage at the last startup.", uint64(s.recovered.sessions))
+		gauge("ss_recovered_journal_records", "Journal records replayed on top of the recovered snapshot.", uint64(s.recovered.journalReplayed))
+		gauge("ss_journal_truncated_records", "Torn or corrupt journal frames truncated at the last recovery.", uint64(s.recovered.truncatedRecords))
+		gauge("ss_recovery_snapshots_skipped", "Invalid snapshot generations skipped at the last recovery.", uint64(s.recovered.snapshotsSkipped))
+	}
 
 	histogram := func(name, help, labels string, h *prometheus.Histogram) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)

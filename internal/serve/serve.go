@@ -65,6 +65,7 @@ import (
 	"time"
 
 	prometheus "repro"
+	"repro/internal/durable"
 )
 
 // Session is the per-key state a handler mutates. All access happens
@@ -154,6 +155,23 @@ type Config struct {
 	// Handler executes requests in-process; shorthand for
 	// Backend: NewHandlerBackend("inprocess", Handler).
 	Handler Handler
+	// StateFS, when set, enables durable sessions: the session table is
+	// snapshotted at every epoch rotation (write-behind, riding the
+	// quiescent window the EndIsolation barrier proves), journaled between
+	// rotations, and rebuilt from storage at the next New before admission
+	// opens. Use durable.NewDirFS for a real state directory,
+	// durable.NewMemFS in tests, chaos.WrapFS for fault drills. Nil
+	// disables durability (sessions die with the process).
+	StateFS durable.FS
+	// Fsync is the journal's durability policy (see durable.FsyncPolicy):
+	// FsyncOff buffers, FsyncRotation syncs once per epoch rotation
+	// (bounding acked loss at one epoch), FsyncAlways syncs every append
+	// (an acknowledged request is durable). Ignored without StateFS.
+	Fsync durable.FsyncPolicy
+	// NoJournal disables the intra-epoch journal: durability comes from
+	// rotation snapshots alone, bounding loss at one epoch plus commit
+	// latency regardless of Fsync. Ignored without StateFS.
+	NoJournal bool
 	// KeyFunc extracts the request key. Default: header "X-Session-Key",
 	// else query parameter "key", else the client address.
 	KeyFunc func(r *http.Request) string
@@ -284,8 +302,18 @@ type Server struct {
 	// itself (Stats reads program-private counters).
 	statsSnap atomic.Pointer[prometheus.Stats]
 
+	// Durability (see durability.go; all nil/zero without Config.StateFS).
+	store      *durable.Store
+	journal    atomic.Pointer[durable.Journal] // swapped by the router at capture
+	snapGen    uint64                          // generation counter (router, then drain)
+	dirty      atomic.Bool                     // a request executed since the last capture
+	snapCh     chan snapCapture                // router → write-behind committer, capacity 1
+	writerDone chan struct{}
+	recovered  recoveryInfo // frozen before the router starts
+
 	drainCh  chan chan struct{}
 	routerWG chan struct{}
+	killCh   chan struct{} // test hook: abrupt router death, no drain, no flush
 }
 
 // routerState is the Writable payload. Per-key state lives in Session
@@ -307,12 +335,21 @@ func New(cfg Config) (*Server, error) {
 		sessions: make(map[uint64]*Session),
 		drainCh:  make(chan chan struct{}),
 		routerWG: make(chan struct{}),
+		killCh:   make(chan struct{}),
 	}
 	if cfg.Rate > 0 {
 		s.limiter = newLimiter(cfg.Rate, cfg.Burst)
 	}
 	if cfg.SlowThreshold > 0 {
 		s.slow = newSlowTable(cfg.SlowThreshold, cfg.SlowTrips)
+	}
+	if cfg.StateFS != nil {
+		// Recovery runs here, before the router exists: the session table
+		// must be rebuilt before the first request can be admitted, and a
+		// state store that cannot take a boot snapshot refuses to start.
+		if err := s.initDurability(); err != nil {
+			return nil, err
+		}
 	}
 	ready := make(chan struct{})
 	go s.router(ready)
@@ -358,8 +395,22 @@ func (s *Server) router(ready chan struct{}) {
 			s.drainRouter()
 			close(ack)
 			return
+		case <-s.killCh:
+			// Test hook: die the way a SIGKILL would — no drain, no final
+			// snapshot, no journal flush, runtime abandoned. What the
+			// durability layer already pushed to its FS is all a successor
+			// recovers; the journal's user-space buffer dies with us.
+			return
 		}
 	}
+}
+
+// kill abruptly stops the router for crash-recovery tests. Unlike Drain it
+// resolves nothing: inflight requests park forever, buffered journal bytes
+// are lost, the runtime leaks. Call only from tests, at a quiescent point.
+func (s *Server) kill() {
+	close(s.killCh)
+	<-s.routerWG
 }
 
 // deliver routes one job: deadline and degradation fast paths, poisoned
@@ -441,6 +492,15 @@ func (s *Server) execute(j *job, sess *Session) {
 	if s.slow != nil && s.slow.observe(j.set, elapsed) {
 		s.metrics.degradedKeys.Add(1)
 	}
+	if s.store != nil {
+		// Journal the session's post-state before the request can resolve:
+		// under FsyncAlways the record is durable before the ack goes out.
+		// A panicking handler unwinds past this point, journaling nothing —
+		// a faulted operation contributes no durable state, matching the
+		// engine's "no partial side effects" containment contract.
+		s.journalSession(sess)
+		s.dirty.Store(true)
+	}
 	if err == nil {
 		j.status, j.body = status, body
 		resolved = true
@@ -500,6 +560,10 @@ func (s *Server) rotate() {
 	if s.limiter != nil {
 		s.metrics.bucketsEvicted.Add(uint64(s.limiter.sweep(time.Now())))
 	}
+	// The barrier just proved the pool quiescent: no delegate is mutating
+	// any Session, so this window is a consistent cut across every key —
+	// where the durable-session capture rides (see durability.go).
+	s.rotateDurable()
 	st := s.rt.Stats()
 	s.statsSnap.Store(&st)
 	s.rt.BeginIsolation()
@@ -583,6 +647,9 @@ func (s *Server) drainRouter() {
 	s.epochJobs = nil
 	st := s.rt.Stats()
 	s.statsSnap.Store(&st)
+	// Final barrier passed: the table is quiescent forever. Persist it
+	// synchronously — a clean drain is lossless under every fsync policy.
+	s.drainDurable()
 	s.rt.Terminate()
 }
 

@@ -151,7 +151,7 @@ func TestRecoverFreshStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rec.Fresh || rec.SnapshotGen != 0 || len(rec.SnapshotRecords) != 0 || len(rec.JournalRecords) != 0 {
+	if !rec.Fresh || rec.SnapshotGen != 0 || rec.MaxGen != 0 || len(rec.SnapshotRecords) != 0 || len(rec.JournalRecords) != 0 {
 		t.Fatalf("recovery = %+v", rec)
 	}
 }
@@ -183,12 +183,56 @@ func TestSnapshotGCKeepsTwoGenerations(t *testing.T) {
 	if snaps != 2 {
 		t.Fatalf("want 2 kept snapshots, have %d (%v)", snaps, names)
 	}
-	// Journals for the kept generations (3, 4) survive; older are gone.
 	if !st.HasSnapshot(3) || !st.HasSnapshot(4) || st.HasSnapshot(2) {
 		t.Fatalf("kept the wrong generations: %v", names)
 	}
-	if wals != 2 {
-		t.Fatalf("want 2 kept journals, have %d (%v)", wals, names)
+	// Journals survive back to floor-1 (gens 2, 3, 4): if snapshot 4 ever
+	// fails validation and recovery falls back to snapshot 3, the replay
+	// contract needs wal-2.
+	if wals != 3 {
+		t.Fatalf("want 3 kept journals (floor-1 onward), have %d (%v)", wals, names)
+	}
+}
+
+func TestRecoverMaxGenSeesJournalAheadOfSnapshot(t *testing.T) {
+	fs := NewMemFS()
+	st := NewStore(fs)
+	if _, err := st.CommitSnapshot(1, recs("state")); err != nil {
+		t.Fatal(err)
+	}
+	// The crash shape the boot generation must survive: a rotation swapped
+	// the journal to gen 2, then the process died before snapshot 2
+	// committed — wal-2 exists with no matching snapshot, torn mid-frame.
+	j, err := st.OpenJournal(2, FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append([]byte("acked"))
+	j.Close()
+	f, err := fs.Append(walName(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad}) // torn frame header
+	f.Close()
+
+	rec, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotGen != 1 {
+		t.Fatalf("SnapshotGen = %d, want 1", rec.SnapshotGen)
+	}
+	// MaxGen must count the orphaned journal, so the next writer opens
+	// wal-3 instead of appending behind wal-2's tear.
+	if rec.MaxGen != 2 {
+		t.Fatalf("MaxGen = %d, want 2 (journal ahead of snapshot)", rec.MaxGen)
+	}
+	if len(rec.JournalRecords) != 1 || string(rec.JournalRecords[0]) != "acked" {
+		t.Fatalf("journal replay = %q", rec.JournalRecords)
+	}
+	if rec.TruncatedRecords != 1 {
+		t.Fatalf("truncated %d, want 1", rec.TruncatedRecords)
 	}
 }
 

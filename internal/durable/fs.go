@@ -43,7 +43,16 @@ type File interface {
 	Close() error
 }
 
-// DirFS is the real, directory-backed FS.
+// DirFS is the real, directory-backed FS. Besides syncing file CONTENT
+// (File.Sync), DirFS syncs the DIRECTORY after every operation that
+// changes its entries — Create, the first Append of a missing file, and
+// Rename — because on POSIX a file's data being on stable storage says
+// nothing about its directory entry. Without the directory fsync, a
+// power cut after a "committed" snapshot rename or a fully synced journal
+// could make the whole file vanish, silently voiding the fsync=always
+// zero-acked-loss contract (a pure kill -9 never hits this — page cache
+// survives process death — but the loss bounds are documented against
+// power loss too).
 type DirFS struct {
 	dir string
 }
@@ -58,12 +67,44 @@ func NewDirFS(dir string) (*DirFS, error) {
 
 func (d *DirFS) path(name string) string { return filepath.Join(d.dir, filepath.Base(name)) }
 
+// syncDir fsyncs the directory itself, making entry changes (new names,
+// renames) durable.
+func (d *DirFS) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 func (d *DirFS) Create(name string) (File, error) {
-	return os.OpenFile(d.path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := os.OpenFile(d.path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 func (d *DirFS) Append(name string) (File, error) {
-	return os.OpenFile(d.path(name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(d.path(name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// The open may have created the file (one Append call per journal
+	// generation — the directory fsync is off every hot path).
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 func (d *DirFS) Open(name string) (io.ReadCloser, error) {
@@ -71,7 +112,12 @@ func (d *DirFS) Open(name string) (io.ReadCloser, error) {
 }
 
 func (d *DirFS) Rename(oldname, newname string) error {
-	return os.Rename(d.path(oldname), d.path(newname))
+	if err := os.Rename(d.path(oldname), d.path(newname)); err != nil {
+		return err
+	}
+	// The rename is the snapshot commit point; it is not durable until the
+	// directory is.
+	return d.syncDir()
 }
 
 func (d *DirFS) Remove(name string) error {

@@ -149,8 +149,10 @@ type SnapshotInfo struct {
 // On any error the temp file is removed (best effort) and every previously
 // committed generation is untouched — a failed snapshot degrades
 // durability, it never regresses it. A successful commit garbage-collects
-// all but the two newest snapshot generations and every journal older than
-// the oldest kept snapshot (older journals can never be replayed again).
+// all but the two newest snapshot generations and every journal more than
+// one generation older than the oldest kept snapshot (journals the replay
+// rule could still name — wal-(G-1) for any recoverable snapshot G — are
+// retained; anything older can never be replayed again).
 func (s *Store) CommitSnapshot(gen uint64, records [][]byte) (SnapshotInfo, error) {
 	hdr := make([]byte, 0, len(snapMagic)+1+16)
 	hdr = append(hdr, snapMagic...)
@@ -202,9 +204,9 @@ func (s *Store) CommitSnapshot(gen uint64, records [][]byte) (SnapshotInfo, erro
 }
 
 // gc removes all but the two newest committed snapshot generations, every
-// journal older than the oldest kept snapshot, and stray temp files from
-// crashed commits. Best effort: a removal failure leaves extra files, not
-// a broken store.
+// journal more than one generation older than the oldest kept snapshot,
+// and stray temp files from crashed commits. Best effort: a removal
+// failure leaves extra files, not a broken store.
 func (s *Store) gc() {
 	names, err := s.fs.List()
 	if err != nil {
@@ -232,7 +234,12 @@ func (s *Store) gc() {
 		if gen, ok := parseGen(n, snapPrefix, snapSuffix); ok && gen < floor {
 			s.fs.Remove(n)
 		}
-		if gen, ok := parseGen(n, walPrefix, walSuffix); ok && gen < floor {
+		// Journals are kept back to floor-1, not floor: Recover replays
+		// wal-(G-1) when it falls back to snapshot G, because that journal
+		// may hold records no snapshot captured. Deleting wal-(floor-1)
+		// would break recovery the first time the newest snapshot fails
+		// validation and the kept older generation takes over.
+		if gen, ok := parseGen(n, walPrefix, walSuffix); ok && gen+1 < floor {
 			s.fs.Remove(n)
 		}
 	}
@@ -293,6 +300,15 @@ type Recovery struct {
 	// SnapshotGen is the generation the recovered state is based on
 	// (0 when Fresh).
 	SnapshotGen uint64
+	// MaxGen is the highest generation named by ANY file in the store —
+	// committed snapshots (valid or not) and journals alike; 0 when the
+	// store holds neither. A writer resuming after recovery must start at
+	// MaxGen+1: SnapshotGen alone is not safe, because a crash between a
+	// rotation's journal swap and its snapshot commit leaves a journal one
+	// generation AHEAD of the newest snapshot, possibly with a torn tail.
+	// Appending to that file would strand every new record behind the tear
+	// (replay stops at the first bad frame).
+	MaxGen uint64
 	// SnapshotRecords are the chosen snapshot's payloads, in write order.
 	SnapshotRecords [][]byte
 	// JournalRecords are every replayable journal payload with generation
@@ -321,18 +337,24 @@ func (s *Store) Recover() (*Recovery, error) {
 		return nil, fmt.Errorf("durable: recover: %w", err)
 	}
 	var snaps, wals []uint64
+	rec := &Recovery{Fresh: true}
 	for _, n := range names {
 		if gen, ok := parseGen(n, snapPrefix, snapSuffix); ok {
 			snaps = append(snaps, gen)
+			if gen > rec.MaxGen {
+				rec.MaxGen = gen
+			}
 		}
 		if gen, ok := parseGen(n, walPrefix, walSuffix); ok {
 			wals = append(wals, gen)
+			if gen > rec.MaxGen {
+				rec.MaxGen = gen
+			}
 		}
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
 	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
 
-	rec := &Recovery{Fresh: true}
 	for _, gen := range snaps {
 		records, err := s.readSnapshot(gen)
 		if err != nil {

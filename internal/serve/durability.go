@@ -94,7 +94,14 @@ func (s *Server) initDurability() error {
 	// Boot commit: fold the recovered table (journal replay included) into
 	// a fresh generation synchronously, so the journals that fed recovery
 	// are no longer load-bearing and this boot's journal starts empty.
-	s.snapGen = rec.SnapshotGen + 1
+	// The generation comes from MaxGen — the highest ANY on-disk file
+	// names, journals included — not SnapshotGen: a crash between a
+	// rotation's journal swap and its snapshot commit leaves wal-(G+1) on
+	// disk ahead of snapshot G, possibly torn mid-frame. Booting at G+1
+	// would re-open that file and strand every new acked record behind the
+	// tear (replay stops at the first bad frame), so the boot journal must
+	// start strictly above every existing name.
+	s.snapGen = rec.MaxGen + 1
 	if _, err := s.store.CommitSnapshot(s.snapGen, encodeSessions(s.sessions)); err != nil {
 		return fmt.Errorf("serve: boot snapshot: %w", err)
 	}
@@ -160,6 +167,19 @@ func (s *Server) rotateDurable() {
 		if err != nil {
 			s.metrics.journalFailures.Add(1)
 			s.cfg.Logf("serve: journal generation %d: %v", s.snapGen, err)
+			// The generation cannot swap, but the policy's per-epoch fsync
+			// must still happen: sync the old journal in place so this
+			// epoch's acked records meet the <=1-epoch loss bound even
+			// while new-file creation is failing.
+			if s.cfg.Fsync == durable.FsyncRotation {
+				if old := s.journal.Load(); old != nil {
+					if serr := old.Sync(); serr != nil {
+						s.metrics.journalFailures.Add(1)
+					} else {
+						s.metrics.journalSyncs.Add(1)
+					}
+				}
+			}
 		} else {
 			if old := s.journal.Swap(nj); old != nil {
 				if err := old.Close(); err != nil {

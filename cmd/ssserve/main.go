@@ -14,6 +14,7 @@
 //	any  + header X-Chaos-Panic: 1   the handler panics (chaos injection)
 //	GET  /metrics               Prometheus text exposition
 //	GET  /healthz               200, or 503 while draining
+//	POST /admin/resize?n=N      resize the delegate pool (requires -max-delegates)
 //
 // The session key comes from the X-Session-Key header or the key query
 // parameter. On SIGTERM/SIGINT the server drains: the listener stops
@@ -51,6 +52,12 @@ func main() {
 		epochInterval = flag.Duration("epoch-interval", 100*time.Millisecond, "isolation-epoch rotation period")
 		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain straggler deadline")
 
+		// Elastic pool.
+		maxDelegates = flag.Int("max-delegates", 0, "delegate pool capacity; enables /admin/resize and live resizing (0 = fixed pool)")
+		minDelegates = flag.Int("min-delegates", 1, "autoscaler floor (manual resizes may go below)")
+		autoscale    = flag.Bool("autoscale", false, "scale the pool at epoch rotations from queue occupancy (requires -max-delegates)")
+		cooldown     = flag.Int("autoscale-cooldown", 3, "rotations between autoscaler steps")
+
 		// Durable sessions.
 		stateDir  = flag.String("state-dir", "", "session state directory: snapshots + journal, recovered at boot (empty = sessions die with the process)")
 		fsyncMode = flag.String("fsync", "rotation", "journal fsync policy: off (buffered), rotation (sync per epoch, <=1 epoch acked loss), always (sync per request, zero acked loss)")
@@ -67,12 +74,12 @@ func main() {
 		breakerCool   = flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe")
 
 		// Chaos injection (deterministic; for harness runs, not production).
-		flakyBackend  = flag.Bool("flaky-backend", false, "serve from a 2-backend in-process pool whose second member carries the chaos profile below")
-		chaosSeed     = flag.Uint64("chaos-seed", 1, "chaos determinism seed")
-		chaosErrRate  = flag.Float64("chaos-error-rate", 0, "seeded per-op backend error probability on the flaky backend")
-		chaosSpikeN   = flag.Int("chaos-spike-every", 0, "inject a latency spike every Nth op per key on the flaky backend (0 = off)")
-		chaosSpike    = flag.Duration("chaos-spike", 200*time.Millisecond, "latency-spike duration")
-		chaosFlap     = flag.String("chaos-flap", "", "flap window FROM:TO in flaky-backend op counts, e.g. 100:160 (hard-down between them)")
+		flakyBackend = flag.Bool("flaky-backend", false, "serve from a 2-backend in-process pool whose second member carries the chaos profile below")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos determinism seed")
+		chaosErrRate = flag.Float64("chaos-error-rate", 0, "seeded per-op backend error probability on the flaky backend")
+		chaosSpikeN  = flag.Int("chaos-spike-every", 0, "inject a latency spike every Nth op per key on the flaky backend (0 = off)")
+		chaosSpike   = flag.Duration("chaos-spike", 200*time.Millisecond, "latency-spike duration")
+		chaosFlap    = flag.String("chaos-flap", "", "flap window FROM:TO in flaky-backend op counts, e.g. 100:160 (hard-down between them)")
 	)
 	flag.Parse()
 
@@ -92,19 +99,23 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Delegates:      *delegates,
-		Shards:         *shards,
-		MaxInflight:    *maxInflight,
-		Rate:           *rate,
-		Burst:          *burst,
-		EpochInterval:  *epochInterval,
-		DrainTimeout:   *drainTimeout,
-		RequestTimeout: *reqTimeout,
-		RetryMax:       *retries,
-		RetryBase:      *retryBase,
-		SlowThreshold:  *slowThreshold,
-		SlowTrips:      *slowTrips,
-		Logf:           log.Printf,
+		Delegates:         *delegates,
+		MaxDelegates:      *maxDelegates,
+		MinDelegates:      *minDelegates,
+		Autoscale:         *autoscale,
+		AutoscaleCooldown: *cooldown,
+		Shards:            *shards,
+		MaxInflight:       *maxInflight,
+		Rate:              *rate,
+		Burst:             *burst,
+		EpochInterval:     *epochInterval,
+		DrainTimeout:      *drainTimeout,
+		RequestTimeout:    *reqTimeout,
+		RetryMax:          *retries,
+		RetryBase:         *retryBase,
+		SlowThreshold:     *slowThreshold,
+		SlowTrips:         *slowTrips,
+		Logf:              log.Printf,
 	}
 	if backend != nil {
 		cfg.Backend = backend

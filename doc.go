@@ -422,4 +422,56 @@
 // proves the bounds against real processes: SIGKILL mid-traffic,
 // restart on the same state dir, and per-key assertions that no
 // acknowledged sequence regressed past the policy's floor.
+//
+// # Elastic runtime
+//
+// The delegate pool can be resized while the runtime is live. The design
+// follows directly from the epoch discipline: an isolation-epoch boundary
+// is the only point in this model where resizing is safe, because it is
+// the only point where anything global is known. Between boundaries,
+// operations for a set may be in flight in a delegate's queue, a steal
+// handshake may be mid-transfer, and the recursive engine's per-producer
+// lanes may hold unacknowledged sends — moving a set or retiring a
+// delegate in that state would either reorder a set's operations
+// (breaking the one invariant the model promises) or strand them. At the
+// boundary, the barrier has proven every queue drained and every
+// delegation ledger balanced, so set-to-delegate placement is pure data:
+// it can be rewritten wholesale, exactly as the epoch machinery already
+// rewrites it for adaptive thresholds and hot-set seeding.
+//
+// Mechanically, [Runtime.Resize] and [Runtime.Reconfigure] only record a
+// desired [RuntimeConfig]; the next BeginIsolation applies it. Capacity
+// and occupancy are split: every delegate structure (queues, lane
+// matrices, counters) is pre-allocated for WithMaxDelegates at New, and
+// resizing only moves the active prefix — so context numbering, reducible
+// views, and trace buffers stay valid across any resize, and the hot path
+// pays nothing (the steal threshold and active count are single atomic
+// loads that exist anyway). Scale-up spawns goroutines for the new
+// prefix, rebuilds the placement tables, and re-seeds hot sets. Scale-down
+// must also evacuate: every set owned by a closing delegate is reassigned
+// into the surviving prefix before the delegate parks, because a set left
+// on a retired delegate would silently stop executing — its operations
+// would queue forever on a goroutine that exited. The evacuation argument
+// is the same quiescence argument as the steal handshake's, but simpler:
+// at the boundary the closing delegate's queue is provably empty and its
+// lanes balanced, so reassignment is a table write with no in-flight
+// operations to race. Checked mode asserts exactly this — a parked
+// delegate with a non-empty queue or an unbalanced lane ledger panics
+// ("traffic survived a retired delegate"). Parked delegates keep their
+// structures (counters frozen, so all-capacity ledger sums still
+// balance) and are respawned on the next scale-up, seeding their
+// execution counters from the frozen values.
+//
+// The serving tier turns this into autoscaling: the router samples queue
+// occupancy just before each rotation's barrier (the closing epoch's
+// backlog is the demand signal), folds it into an EWMA, and steps the
+// pool by one delegate when occupancy leaves the [0.5, 2.0]
+// ops-per-delegate band, clamped to [MinDelegates, MaxDelegates] with a
+// cooldown in rotations so one burst cannot slam the pool to a rail.
+// POST /admin/resize records a manual target that wins over the
+// autoscaler's next decision; both apply at the rotation, so a resize is
+// invisible to request ordering by construction. The resize determinism
+// tests pin the strongest form of that claim: a run whose pool is resized
+// up and down mid-stream produces byte-identical per-set operation logs
+// to a fixed-size run.
 package prometheus

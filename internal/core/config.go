@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -99,8 +100,23 @@ func (p SchedPolicy) String() string {
 // context share.
 type Config struct {
 	// Delegates is the number of delegate contexts (paper: delegate
-	// threads). Default: GOMAXPROCS-1, minimum 1.
+	// threads). Default: GOMAXPROCS-1, minimum 1. Under live
+	// reconfiguration this is only the INITIAL pool size: Resize /
+	// Reconfigure may move the active count anywhere in [1, MaxDelegates]
+	// at epoch boundaries.
 	Delegates int
+
+	// MaxDelegates is the pool capacity ceiling for live reconfiguration:
+	// every per-delegate structure (queues, lanes, ledgers, trace buffers,
+	// per-context views) is pre-allocated for MaxDelegates at New, and
+	// Resize/Reconfigure may activate any pool size up to it without
+	// reallocating — which is what keeps NumContexts immutable and the
+	// per-context arrays the wrappers sized at construction valid for the
+	// runtime's whole life. Defaults to Delegates (a fixed pool, no
+	// reconfiguration headroom). In recursive mode the lane matrix costs
+	// O(MaxDelegates^2) rings, so size the ceiling to the largest pool the
+	// process will actually use.
+	MaxDelegates int
 
 	// VirtualDelegates is the number of virtual delegates used by the
 	// static assignment table (paper §4). It must be >= Delegates. Default:
@@ -244,8 +260,17 @@ func (c Config) withDefaults() Config {
 	if c.ProgramShare < 0 {
 		c.ProgramShare = 0
 	}
+	if c.MaxDelegates < c.Delegates {
+		c.MaxDelegates = c.Delegates
+	}
 	if c.VirtualDelegates <= 0 {
-		c.VirtualDelegates = 4 * (c.Delegates + c.ProgramShare)
+		// Size the default table for the capacity ceiling, not the initial
+		// pool: a Reconfigure up to MaxDelegates must not find fewer virtual
+		// delegates than contexts. An EXPLICIT VirtualDelegates below the
+		// ceiling stays as given (clamped only to the initial pool) — it is
+		// a deliberate bound, and Reconfigure targets above it are rejected
+		// with a descriptive error instead of being silently clamped.
+		c.VirtualDelegates = 4 * (c.MaxDelegates + c.ProgramShare)
 	}
 	if c.VirtualDelegates < c.Delegates+c.ProgramShare {
 		c.VirtualDelegates = c.Delegates + c.ProgramShare
@@ -303,4 +328,50 @@ func (c Config) validate() {
 			panic("prometheus: Recursive requires the StaticMod policy (or LeastLoaded with Stealing)")
 		}
 	}
+}
+
+// RuntimeConfig is the runtime-mutable slice of the configuration — the
+// knobs Reconfigure may change at an epoch boundary, as opposed to the
+// immutable-per-run Config the pool structures were built from. It is held
+// behind an atomic pointer with Get/Store semantics: Reconfigure validates
+// and stores the desired state from any goroutine, and the program context
+// applies it at the next BeginIsolation (the engine's only quiescent
+// point). The zero value of each field means "keep the current setting".
+type RuntimeConfig struct {
+	// Delegates is the desired active pool size, in [1, MaxDelegates].
+	// 0 keeps the current size.
+	Delegates int
+
+	// StealThreshold rebases the victim-backlog threshold at which the
+	// occupancy-aware rebalancer engages. Under AdaptiveSteal this moves
+	// the base the in-epoch EWMA scales from; with an explicit threshold
+	// it replaces it outright. 0 keeps the current base.
+	StealThreshold int
+}
+
+// validateReconfig rejects a RuntimeConfig the pool cannot honor,
+// descriptively: the reconfiguration surface is driven by operators (admin
+// endpoints, autoscalers), so a bad target must come back as an error at
+// the call site, not a panic deep in placement at the next epoch.
+func (c Config) validateReconfig(rc RuntimeConfig) error {
+	if c.Sequential {
+		return fmt.Errorf("prometheus: Reconfigure: Sequential mode has no delegate pool to resize")
+	}
+	if rc.Delegates < 0 {
+		return fmt.Errorf("prometheus: Reconfigure: %d delegates is not a valid pool size", rc.Delegates)
+	}
+	if rc.Delegates > c.MaxDelegates {
+		return fmt.Errorf(
+			"prometheus: Reconfigure: %d delegates exceeds the pool capacity MaxDelegates=%d (pool structures are pre-allocated at New; raise WithMaxDelegates)",
+			rc.Delegates, c.MaxDelegates)
+	}
+	if rc.Delegates > 0 && rc.Delegates+c.ProgramShare > c.VirtualDelegates {
+		return fmt.Errorf(
+			"prometheus: Reconfigure: %d delegates (+%d program share) exceeds VirtualDelegates=%d — the static assignment table cannot spread fewer virtual delegates than contexts; raise WithVirtualDelegates",
+			rc.Delegates, c.ProgramShare, c.VirtualDelegates)
+	}
+	if rc.StealThreshold < 0 {
+		return fmt.Errorf("prometheus: Reconfigure: negative StealThreshold %d", rc.StealThreshold)
+	}
+	return nil
 }

@@ -385,7 +385,7 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 				}
 				e.producer.Store(int32(producer))
 			}
-			if int(e.owner.Load()) == producer && e.ops.Load() == 0 && rt.cfg.Delegates > 1 {
+			if int(e.owner.Load()) == producer && e.ops.Load() == 0 {
 				// A hot-seeded placement guessed from the previous epoch's
 				// producer, and the producer moved onto exactly that
 				// delegate: honoring it would make every operation of the
@@ -398,7 +398,11 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 				// evacuated by maybeStealRec below, which retries on every
 				// delegation under the full safety conditions — including the
 				// outbound-drain check a bare re-home here could not honor.
-				e.owner.Store(int32(producer%rt.cfg.Delegates + 1))
+				// The active load sits behind the owner/ops short-circuits
+				// so the delegation fast path never pays for it.
+				if nAct := int(rt.active.Load()); nAct > 1 {
+					e.owner.Store(int32(producer%nAct + 1))
+				}
 			}
 		}
 		rt.maybeStealRec(producer, set, e)
@@ -419,7 +423,7 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 			}
 			e.producer.Store(int32(producer))
 		}
-		if int(e.owner.Load()) == producer && e.ops.Load() == 0 && rt.cfg.Delegates > 1 {
+		if int(e.owner.Load()) == producer && e.ops.Load() == 0 {
 			// The static table seeded the first touch onto the producer's
 			// own delegate (possible whenever the producing set was itself
 			// migrated there by an earlier steal): honoring it would make
@@ -429,7 +433,9 @@ func (rt *Runtime) recRoute(producer int, set uint64) int {
 			// is guaranteed to arrive and evacuate it. Nothing has been
 			// delegated yet, so re-home the empty entry next door (the same
 			// rule the hot-seed handover branch and the thief scan apply).
-			e.owner.Store(int32(producer%rt.cfg.Delegates + 1))
+			if nAct := int(rt.active.Load()); nAct > 1 {
+				e.owner.Store(int32(producer%nAct + 1))
+			}
 		}
 	}
 	owner := int(e.owner.Load())
@@ -573,7 +579,7 @@ func (rt *Runtime) maybeStealRec(producer int, set uint64, e *recSetEntry) {
 		}
 	}
 	thief, tOut := 0, ^uint64(0)
-	for _, d := range rec.delegates {
+	for _, d := range rec.delegates[:int(rt.active.Load())] {
 		if d.id == v || d.id == producer {
 			// Never hand a set to its own producer's context: that would
 			// silently turn its operations into self-delegations, and a
@@ -653,11 +659,13 @@ func (rt *Runtime) maybeStealRec(producer int, set uint64, e *recSetEntry) {
 // same rule the thief scan applies). Returns how many sets were
 // pre-placed. Program context only, between epochs (all contexts
 // quiescent).
-func (st *recStealState) reseed(delegates int) int {
+// producers is the capacity-sized producer count (len(rec.enq)), NOT
+// delegates+1: entry arrays must index every context that could ever
+// produce, while placement spreads over only the currently active pool.
+func (st *recStealState) reseed(delegates, producers int) int {
 	prev := st.owners.Load()
 	hot := rankHotSets(prev, hotSeedCount(delegates))
 	next := newRecOwnerTable()
-	producers := delegates + 1
 	slot := 0
 	for _, h := range hot {
 		d := slot%delegates + 1
@@ -750,7 +758,7 @@ func (rt *Runtime) stealThreshold() int {
 	if rt.cfg.AdaptiveSteal {
 		return int(rt.adaptiveThr.Load())
 	}
-	return rt.cfg.StealThreshold
+	return int(rt.baseThr.Load())
 }
 
 // stealRatio returns the thief-eligibility ratio R for this delegation: a
@@ -804,7 +812,7 @@ func (rt *Runtime) noteImbalance(maxOcc, minOcc uint64) {
 	// At balance (ewma == ewmaFP) this is exactly the configured base —
 	// the capacity-derived default the config docs promise — and skew only
 	// ever scales it DOWN from there toward the clamp floor.
-	thr := int64(rt.cfg.StealThreshold) * ewmaFP / ewma
+	thr := rt.baseThr.Load() * ewmaFP / ewma
 	if thr < MinStealThreshold {
 		thr = MinStealThreshold
 	}
@@ -821,7 +829,7 @@ func (rt *Runtime) noteImbalance(maxOcc, minOcc uint64) {
 // spread into the EWMA (flat mode's drain-run boundary sampler).
 func (rt *Runtime) sampleImbalanceFlat() {
 	maxOcc, minOcc := uint64(0), ^uint64(0)
-	for _, d := range rt.delegates {
+	for _, d := range rt.delegates[:int(rt.active.Load())] {
 		n := uint64(d.queue.Len())
 		if n > maxOcc {
 			maxOcc = n
@@ -837,7 +845,7 @@ func (rt *Runtime) sampleImbalanceFlat() {
 // laneSent/laneExec ledgers (O(delegates*producers) single-writer loads).
 func (rt *Runtime) sampleImbalanceRec() {
 	maxOcc, minOcc := uint64(0), ^uint64(0)
-	for _, d := range rt.rec.delegates {
+	for _, d := range rt.rec.delegates[:int(rt.active.Load())] {
 		n := rt.recOccupancy(d.id)
 		if n > maxOcc {
 			maxOcc = n

@@ -231,7 +231,12 @@ func (t *producerTable) reset() {
 // initRecursive builds the lane matrix and starts the drain loops.
 func (rt *Runtime) initRecursive() {
 	cfg := rt.cfg
-	nProducers := cfg.Delegates + 1
+	// The lane matrix, ledgers, and producer-indexed arrays are all sized
+	// to POOL CAPACITY, not the initial active count: a later Resize must
+	// not reallocate any structure a running drain loop or producer indexes
+	// into. Only the drain goroutines themselves scale (costing
+	// O(MaxDelegates^2) pre-allocated rings — documented on MaxDelegates).
+	nProducers := cfg.MaxDelegates + 1
 	rec := &recState{enq: make([]recCounter, nProducers)}
 	if cfg.Checked && !cfg.Stealing {
 		// The static-placement discipline: one producer context per set per
@@ -242,13 +247,13 @@ func (rt *Runtime) initRecursive() {
 		rec.producers = newProducerTable()
 	}
 	if cfg.Stealing {
-		rec.steal = newRecStealState(cfg.Delegates, nProducers)
+		rec.steal = newRecStealState(cfg.MaxDelegates, nProducers)
 	}
 	// One spill-node pool shared by every lane of this runtime, so spill
 	// pressure that moves between lanes keeps recycling nodes.
 	pool := spsc.NewNodePool[Invocation]()
 	words := (nProducers + 63) / 64
-	for i := 0; i < cfg.Delegates; i++ {
+	for i := 0; i < cfg.MaxDelegates; i++ {
 		d := &recDelegate{
 			id:      i + 1,
 			pending: make([]atomic.Uint64, words),
@@ -271,7 +276,7 @@ func (rt *Runtime) initRecursive() {
 	// complete when the goroutine starts (the go statement is the
 	// happens-before edge).
 	rt.rec = rec
-	for _, d := range rec.delegates {
+	for _, d := range rec.delegates[:cfg.Delegates] {
 		rt.wg.Add(1)
 		go rt.recLoop(d)
 	}
@@ -419,7 +424,10 @@ func (rt *Runtime) delegateFrom(producer int, set uint64, fn func(ctx int)) int 
 func (rt *Runtime) recLoop(d *recDelegate) {
 	defer rt.wg.Done()
 	buf := make([]Invocation, drainBatchSize)
-	var executed uint64 // method invocations completed; published via d.exec
+	// Seed from the published counter, not zero: a delegate respawned by a
+	// scale-up resumes the count where its parked predecessor stopped, so
+	// occupancy (laneSent - exec) stays exact across resizes.
+	executed := d.exec.Load() // method invocations completed; published via d.exec
 	adaptive := rt.cfg.Stealing && rt.cfg.AdaptiveSteal
 	spin, sampleTick := 0, 0
 	for {
@@ -625,8 +633,12 @@ func (rt *Runtime) recBarrier() {
 	rec := rt.rec
 	for {
 		before := rec.enqSum()
-		dones := make([]chan struct{}, 0, len(rec.delegates))
-		for _, d := range rec.delegates {
+		// Sync only the ACTIVE prefix: a delegate parked by a scale-down has
+		// no drain loop to serve the sync (the send would hang forever). Its
+		// frozen exec/laneExec counters still participate in the ledger sums
+		// below — they balanced at park time and stay balanced.
+		dones := make([]chan struct{}, 0, rt.cfg.Delegates)
+		for _, d := range rec.delegates[:rt.cfg.Delegates] {
 			done := make(chan struct{})
 			rt.recSend(d, Invocation{kind: kindSync, done: done})
 			dones = append(dones, done)
@@ -643,7 +655,7 @@ func (rt *Runtime) recBarrier() {
 // recTerminate shuts down the recursive delegate pool.
 func (rt *Runtime) recTerminate() {
 	rt.recBarrier()
-	for _, d := range rt.rec.delegates {
+	for _, d := range rt.rec.delegates[:rt.cfg.Delegates] {
 		done := make(chan struct{})
 		rt.recSend(d, Invocation{kind: kindTerminate, done: done})
 		rt.waitDone(done)

@@ -57,10 +57,43 @@ type delegate struct {
 // New), except none: delegated closures interact with the runtime only
 // through the context id they are handed.
 type Runtime struct {
+	// cfg is the effective configuration. All fields are immutable after
+	// New EXCEPT Delegates, which the program context rewrites at the
+	// epoch boundary that applies a Reconfigure (applyReconfig). Plain
+	// reads of cfg.Delegates are sound only on the program context or
+	// inside delegated operations (the lane/queue push-pop atomics carry
+	// the happens-before edge from the post-barrier write to any op
+	// delegated after it); any other reader — idle drain-loop samplers,
+	// metrics scrapes — must use the atomic active counter instead.
 	cfg Config
 
+	// delegates holds the FULL pre-allocated pool: MaxDelegates structs
+	// and queues built at New, goroutines spawned only for the active
+	// prefix [0, cfg.Delegates). The slice itself is never reallocated or
+	// resliced, which is what lets any goroutine range a prefix of it.
 	delegates []*delegate
 	wg        sync.WaitGroup
+
+	// active mirrors cfg.Delegates behind an atomic, for readers with no
+	// happens-before edge to the program context's epoch-boundary write
+	// (imbalance samplers in idle spin loops, QueueDepths on metrics
+	// scrapes, recursive re-home decisions on delegate producers). 0 in
+	// Sequential mode.
+	active atomic.Int32
+
+	// Runtime-mutable configuration, cc-relay style: Reconfigure
+	// validates and Stores the desired state into pendingCfg from any
+	// goroutine; the program context Swaps it out and applies it at the
+	// next BeginIsolation, then publishes the effective state through
+	// runtimeCfg (the Get side).
+	pendingCfg atomic.Pointer[RuntimeConfig]
+	runtimeCfg atomic.Pointer[RuntimeConfig]
+
+	// baseThr is the current StealThreshold base — cfg.StealThreshold
+	// until a Reconfigure rebases it. Atomic because the drain-loop
+	// samplers (noteImbalance) read it concurrently with the program
+	// context's epoch-boundary rebase.
+	baseThr atomic.Int64
 
 	// vmap maps virtual delegate -> context id (ProgramContext or 1..D).
 	vmap []int
@@ -154,21 +187,24 @@ func New(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:   cfg,
 		vmap:  buildAssignment(cfg),
-		dirty: make([]bool, cfg.Delegates),
+		dirty: make([]bool, cfg.MaxDelegates),
 		clock: newPhaseClock(),
 	}
+	rt.baseThr.Store(int64(cfg.StealThreshold))
 	rt.adaptiveThr.Store(int64(cfg.StealThreshold))
 	rt.imbalanceEWMA.Store(ewmaFP) // ratio 1.0: assume balance until sampled
+	rt.runtimeCfg.Store(&RuntimeConfig{Delegates: cfg.Delegates, StealThreshold: cfg.StealThreshold})
 	if cfg.Policy == LeastLoaded && !cfg.Recursive {
 		rt.setOwner = make(map[uint64]*setEntry)
-		rt.sent = make([]uint64, cfg.Delegates)
+		rt.sent = make([]uint64, cfg.MaxDelegates)
 	}
 	if cfg.Trace {
-		rt.traceSt = newTraceState(cfg.Delegates + 1)
+		rt.traceSt = newTraceState(cfg.MaxDelegates + 1)
 	}
 	if cfg.Sequential {
 		return rt // no delegate goroutines at all in debug mode
 	}
+	rt.active.Store(int32(cfg.Delegates))
 	if cfg.Recursive {
 		rt.initRecursive()
 		return rt
@@ -176,11 +212,18 @@ func New(cfg Config) *Runtime {
 	if cfg.DelegateBatch > 1 {
 		rt.batch = make([]Invocation, cfg.DelegateBatch)
 	}
-	for i := 0; i < cfg.Delegates; i++ {
+	// Build the FULL pool up front — structs and queues for MaxDelegates —
+	// but spawn drain goroutines only for the initial active prefix. A
+	// later Resize activates pre-built delegates (or parks active ones)
+	// without allocating, so NumContexts and every per-context array sized
+	// from it stay valid for the runtime's whole life.
+	for i := 0; i < cfg.MaxDelegates; i++ {
 		d := &delegate{id: i + 1, queue: spsc.NewQueue[Invocation](cfg.QueueCapacity)}
 		rt.delegates = append(rt.delegates, d)
+	}
+	for i := 0; i < cfg.Delegates; i++ {
 		rt.wg.Add(1)
-		go rt.delegateLoop(d)
+		go rt.delegateLoop(rt.delegates[i])
 	}
 	return rt
 }
@@ -213,7 +256,11 @@ func buildAssignment(cfg Config) []int {
 func (rt *Runtime) delegateLoop(d *delegate) {
 	defer rt.wg.Done()
 	buf := make([]Invocation, drainBatchSize)
-	var executed uint64 // method invocations completed; published via d.executed
+	// Seed the local executed count from the published counter: a delegate
+	// respawned by a scale-up resumes the monotone sequence its previous
+	// incarnation parked at, so every occupancy and quiescence proof built
+	// on sent-vs-executed stays exact across park/respawn cycles.
+	executed := d.executed.Load()
 	adaptive := rt.cfg.Stealing && rt.cfg.AdaptiveSteal
 	inject := rt.cfg.FaultInjector
 	sampleTick := 0
@@ -331,9 +378,17 @@ func (rt *Runtime) execSpan(d *delegate, buf []Invocation, start, n int, execute
 // Config returns the effective configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
-// NumContexts returns the number of execution contexts (program + delegates);
-// context ids are in [0, NumContexts).
-func (rt *Runtime) NumContexts() int { return rt.cfg.Delegates + 1 }
+// NumContexts returns the number of execution contexts (program + delegate
+// CAPACITY); context ids are in [0, NumContexts). It reports MaxDelegates+1
+// — the pre-allocated pool ceiling, not the live size — and is immutable
+// for the runtime's whole life, so per-context arrays sized from it at
+// construction (reducible views, Ctx tables) stay valid across every
+// Resize. Use ActiveDelegates for the live pool size.
+func (rt *Runtime) NumContexts() int { return rt.cfg.MaxDelegates + 1 }
+
+// ActiveDelegates returns the number of currently-active delegate contexts
+// (0 in Sequential mode). Safe from any goroutine.
+func (rt *Runtime) ActiveDelegates() int { return int(rt.active.Load()) }
 
 // Epoch returns the current isolation-epoch number. It is 0 before the first
 // BeginIsolation; wrappers use it to lazily version their state machines.
@@ -357,6 +412,7 @@ func (rt *Runtime) BeginIsolation() {
 	if rt.traceSt != nil {
 		rt.epochStart = timeNow()
 	}
+	rt.applyReconfig()
 	if rt.cfg.AdaptiveSteal {
 		// The imbalance EWMA and the threshold/ratio it derives are
 		// documented as IN-epoch adaptation, and the samples they were
@@ -365,9 +421,11 @@ func (rt *Runtime) BeginIsolation() {
 		// minima would otherwise keep a spun-down pool's skew (or
 		// balance) alive into a workload that no longer has it. A new
 		// epoch starts from the configured base and re-learns its own
-		// spread within a few drain runs.
+		// spread within a few drain runs. The base is read through baseThr
+		// (not cfg) so a Reconfigure'd threshold — applied just above —
+		// takes effect this epoch.
 		rt.imbalanceEWMA.Store(ewmaFP)
-		rt.adaptiveThr.Store(int64(rt.cfg.StealThreshold))
+		rt.adaptiveThr.Store(rt.baseThr.Load())
 	}
 	if rt.setOwner != nil && len(rt.setOwner) > 0 {
 		rt.seedHotSets() // new epoch, new partition (pre-placed hot sets)
@@ -377,7 +435,9 @@ func (rt *Runtime) BeginIsolation() {
 			rt.rec.producers.reset()
 		}
 		if rt.rec.steal != nil {
-			rt.stats.HotSetsPlaced += uint64(rt.rec.steal.reseed(rt.cfg.Delegates))
+			// Producers are sized to the pool CAPACITY (every context that
+			// could ever produce), independent of the active count.
+			rt.stats.HotSetsPlaced += uint64(rt.rec.steal.reseed(rt.cfg.Delegates, len(rt.rec.enq)))
 		}
 	}
 	if fs := rt.faults.Load(); fs != nil {
@@ -402,6 +462,180 @@ func (rt *Runtime) EndIsolation() {
 		rt.traceSt.record(ProgramContext, TraceEpoch, uint64(rt.epoch), rt.epochStart, timeNow())
 	}
 	rt.clock.switchTo(PhaseAggregation, &rt.stats)
+}
+
+// Resize requests the delegate pool be resized to n active delegates. The
+// request is validated immediately and recorded; the PROGRAM CONTEXT
+// applies it at the next BeginIsolation — the engine's quiescent point,
+// where the epoch barrier has proven no operation in flight, every owner
+// table is about to rebuild, and hot sets re-place across whatever pool
+// opens the epoch. Safe from any goroutine; concurrent requests follow
+// last-store-wins (Get/Store semantics on the runtime config pointer).
+func (rt *Runtime) Resize(n int) error {
+	return rt.Reconfigure(RuntimeConfig{Delegates: n})
+}
+
+// Reconfigure records a runtime-mutable configuration change (pool size,
+// steal-threshold base) to be applied at the next epoch boundary. Zero
+// fields keep their current setting. Safe from any goroutine. Returns a
+// descriptive error — never a deferred panic — when the target is outside
+// what the pre-allocated pool can honor.
+func (rt *Runtime) Reconfigure(rc RuntimeConfig) error {
+	if err := rt.cfg.validateReconfig(rc); err != nil {
+		return err
+	}
+	c := rc
+	rt.pendingCfg.Store(&c)
+	return nil
+}
+
+// RuntimeConfig returns the current effective runtime-mutable
+// configuration (the Get side of the atomic config pointer). Safe from any
+// goroutine; a pending Reconfigure is reflected only after the epoch
+// boundary that applies it.
+func (rt *Runtime) RuntimeConfig() RuntimeConfig { return *rt.runtimeCfg.Load() }
+
+// applyReconfig applies a pending Reconfigure at the epoch boundary.
+// Called by BeginIsolation on the program context, BEFORE the adaptive
+// threshold reset (so a rebased threshold seeds this epoch's EWMA) and
+// before the owner tables rebuild and hot sets re-place (so placement
+// state is constructed for the NEW pool, never patched afterwards).
+//
+// Scale-up activates pre-built delegates: spawn their drain goroutines,
+// widen the assignment table, and let this epoch's seeding spread hot sets
+// across the larger pool. Scale-down is the forced-evacuation argument in
+// pool form: the barrier below proves every set quiescent on every
+// delegate — the same whole-set handoff boundary the stealer uses, applied
+// to all sets at once — so the retiring delegates' sets are re-placed by
+// the very table rebuild this epoch performs anyway, and the retirees park
+// permanently with provably empty queues and balanced lane ledgers.
+func (rt *Runtime) applyReconfig() {
+	rc := rt.pendingCfg.Swap(nil)
+	if rc == nil {
+		return
+	}
+	if rc.StealThreshold > 0 {
+		rt.baseThr.Store(int64(rc.StealThreshold))
+	}
+	n := rc.Delegates
+	if n == 0 {
+		n = rt.cfg.Delegates
+	}
+	old := rt.cfg.Delegates
+	if n != old {
+		rt.resizePool(n, old)
+	}
+	eff := RuntimeConfig{Delegates: n, StealThreshold: int(rt.baseThr.Load())}
+	rt.runtimeCfg.Store(&eff)
+}
+
+// resizePool performs the pool-size half of applyReconfig: barrier, count
+// evacuees, park or spawn, republish. Program context only, at the top of
+// an isolation epoch.
+func (rt *Runtime) resizePool(n, old int) {
+	// Prove the OLD pool quiescent first. BeginIsolation does not imply a
+	// barrier on its own (aggregation-epoch delegations may still be in
+	// flight); the resize point must be one.
+	if rt.rec != nil {
+		rt.recBarrier()
+	} else {
+		rt.barrier()
+	}
+	// Count the sets a scale-down evacuates off retiring delegates. The
+	// barrier proved them quiescent everywhere, so "evacuation" is exact
+	// re-placement by the epoch's table rebuild — nothing is copied or
+	// drained here; the count is the observability record of how much
+	// placement state the shrink displaced.
+	evacuated := 0
+	if n < old {
+		if rt.setOwner != nil {
+			for _, e := range rt.setOwner {
+				if e.ctx > n {
+					evacuated++
+				}
+			}
+		} else if rt.rec != nil && rt.rec.steal != nil {
+			rt.rec.steal.owners.Load().forEach(func(_ uint64, e *recSetEntry) {
+				if int(e.owner.Load()) > n {
+					evacuated++
+				}
+			})
+		} else {
+			// Static placement: count assignment-table slots that pointed
+			// at retiring delegates (the sets behind them are unbounded;
+			// the slots are the placement state being displaced).
+			for _, ctx := range rt.vmap {
+				if ctx > n {
+					evacuated++
+				}
+			}
+		}
+		rt.parkDelegates(n, old)
+	}
+	// The assignment table, owner tables, and hot-set seeding all derive
+	// from cfg.Delegates: rewrite it, publish the atomic mirror, and
+	// rebuild the static table before any of them run for this epoch.
+	rt.cfg.Delegates = n
+	rt.active.Store(int32(n))
+	rt.vmap = buildAssignment(rt.cfg)
+	if n > old {
+		for i := old; i < n; i++ {
+			rt.wg.Add(1)
+			if rt.rec != nil {
+				go rt.recLoop(rt.rec.delegates[i])
+			} else {
+				go rt.delegateLoop(rt.delegates[i])
+			}
+		}
+	}
+	rt.stats.Resizes++
+	rt.stats.ResizeEvacuatedSets += uint64(evacuated)
+	if ts := rt.traceSt; ts != nil {
+		ts.recordResizeEvent(uint64(n), rt.epoch, timeNow())
+	}
+}
+
+// parkDelegates retires delegates n..old-1: each is sent a termination
+// object and its goroutine exits once served. Queues and lane state are
+// NOT torn down — a later scale-up respawns the loop over the same
+// structures, resuming the published counters where they stopped. In
+// Checked mode the quiescence the caller's barrier proved is re-asserted
+// per retiree: an empty queue in flat mode, balanced per-lane sent/exec
+// ledgers in recursive mode — no lane traffic survives a retired delegate.
+func (rt *Runtime) parkDelegates(n, old int) {
+	if rt.rec != nil {
+		rec := rt.rec
+		for i := n; i < old; i++ {
+			d := rec.delegates[i]
+			done := make(chan struct{})
+			rt.recSend(d, Invocation{kind: kindTerminate, done: done})
+			rt.waitDone(done)
+			if rt.cfg.Checked && rec.steal != nil {
+				for p := range d.laneExec {
+					sent := rec.steal.laneSent[i][p].n.Load()
+					exec := d.laneExec[p].Load()
+					if sent != exec {
+						panic(fmt.Sprintf(
+							"prometheus: resize: retiring delegate %d parked with lane %d unbalanced (sent=%d exec=%d) — traffic survived a retired delegate",
+							d.id, p, sent, exec))
+					}
+				}
+			}
+		}
+		return
+	}
+	for i := n; i < old; i++ {
+		d := rt.delegates[i]
+		if rt.cfg.Checked && d.queue.Len() != 0 {
+			panic(fmt.Sprintf(
+				"prometheus: resize: retiring delegate %d has %d queued operations after the resize barrier",
+				d.id, d.queue.Len()))
+		}
+		done := make(chan struct{})
+		d.queue.Push(Invocation{kind: kindTerminate, done: done})
+		rt.waitDone(done)
+		rt.dirty[i] = false
+	}
 }
 
 // seedHotSets replaces the flat owner table for a new epoch. Under
@@ -437,7 +671,7 @@ func (rt *Runtime) seedHotSets() {
 // operations still sitting in the delegation buffer for it.
 func (rt *Runtime) leastLoaded() int {
 	best, bestLen := 1, int(^uint(0)>>1)
-	for _, d := range rt.delegates {
+	for _, d := range rt.delegates[:rt.cfg.Delegates] {
 		n := d.queue.Len()
 		if d.id == rt.batchCtx {
 			n += rt.batchLen
@@ -542,7 +776,7 @@ func (rt *Runtime) maybeSteal(set uint64, e *setEntry) {
 		}
 	}
 	thief, tOut := 0, ^uint64(0)
-	for _, d := range rt.delegates {
+	for _, d := range rt.delegates[:rt.cfg.Delegates] {
 		if d.id == v {
 			continue
 		}
@@ -824,7 +1058,7 @@ func (rt *Runtime) SyncContext(ctx int) {
 		rt.recBarrier()
 		return
 	}
-	if ctx < 1 || ctx > len(rt.delegates) {
+	if ctx < 1 || ctx > rt.cfg.Delegates {
 		panic(fmt.Sprintf("prometheus: SyncContext(%d) out of range", ctx))
 	}
 	rt.flushBatch()
@@ -866,8 +1100,8 @@ func (rt *Runtime) barrier() {
 		return
 	}
 	rt.flushBatch()
-	dones := make([]chan struct{}, 0, len(rt.delegates))
-	for i, d := range rt.delegates {
+	dones := make([]chan struct{}, 0, rt.cfg.Delegates)
+	for i, d := range rt.delegates[:rt.cfg.Delegates] {
 		if !rt.dirty[i] {
 			continue
 		}
@@ -912,7 +1146,7 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 	}
 	if rt.rec != nil {
 		for i, t := range tasks {
-			d := rt.rec.delegates[i%len(rt.rec.delegates)]
+			d := rt.rec.delegates[i%rt.cfg.Delegates]
 			rt.rec.enq[ProgramContext].add(1)
 			// noSetID: a pool task belongs to no serialization set, so
 			// nested delegations it issues must not be charged to whatever
@@ -925,7 +1159,7 @@ func (rt *Runtime) RunParallel(tasks []func(ctx int)) {
 	}
 	rt.flushBatch()
 	for i, t := range tasks {
-		d := rt.delegates[i%len(rt.delegates)]
+		d := rt.delegates[i%rt.cfg.Delegates]
 		rt.dirty[d.id-1] = true
 		if rt.sent != nil {
 			rt.sent[d.id-1]++ // method invocations count toward occupancy
@@ -1003,10 +1237,20 @@ func (rt *Runtime) Terminate() {
 		return
 	}
 	rt.flushBatch()
-	for _, d := range rt.delegates {
+	active := rt.cfg.Delegates
+	if active > len(rt.delegates) {
+		active = len(rt.delegates) // Sequential: no pool was built
+	}
+	for _, d := range rt.delegates[:active] {
 		done := make(chan struct{})
 		d.queue.Push(Invocation{kind: kindTerminate, done: done})
 		rt.waitDone(done)
+		d.queue.Close()
+	}
+	// Delegates parked by a scale-down have no goroutine to serve a
+	// termination object; their queues are provably empty (resize barrier +
+	// Checked assertion), so they only need closing.
+	for _, d := range rt.delegates[active:] {
 		d.queue.Close()
 	}
 	rt.wg.Wait()

@@ -50,6 +50,14 @@ type Stats struct {
 	ThresholdAdjusts uint64 // in-epoch adaptive StealThreshold changes (imbalance-EWMA driven)
 	HotSetsPlaced    uint64 // hot sets pre-placed round-robin at BeginIsolation from prior-epoch op counts
 
+	// Elastic-runtime counters (program context, written at the epoch
+	// boundary that applies a reconfiguration). Resizes counts applied
+	// pool-size changes; ResizeEvacuatedSets counts owner-table entries
+	// that were living on a retiring delegate when a scale-down evacuated
+	// them back to the surviving pool.
+	Resizes             uint64
+	ResizeEvacuatedSets uint64
+
 	// Per-set outbound-ledger counters (recursive stealing). OutboundVetoes
 	// counts migration attempts blocked because the candidate set's own
 	// recorded outbound traffic was not yet covered by the target lanes'

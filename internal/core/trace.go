@@ -18,6 +18,7 @@ const (
 	TraceEpoch                  // isolation epoch [Start, End) on the program context
 	TraceSteal                  // Set was handed off by the rebalancer; Ctx is the producer that migrated it
 	TracePanic                  // a delegated operation of Set panicked on Ctx and was contained (Epoch carries the isolation epoch)
+	TraceResize                 // the delegate pool was resized at an epoch boundary; Set carries the new active size, Epoch the epoch it opens
 )
 
 func (k TraceKind) String() string {
@@ -32,6 +33,8 @@ func (k TraceKind) String() string {
 		return "steal"
 	case TracePanic:
 		return "panic"
+	case TraceResize:
+		return "resize"
 	default:
 		return "?"
 	}
@@ -77,6 +80,16 @@ func (ts *traceState) recordPanicEvent(ctx int, set, epoch uint64, at time.Time)
 	off := at.Sub(ts.origin)
 	ts.bufs[ctx] = append(ts.bufs[ctx], TraceEvent{
 		Ctx: ctx, Kind: TracePanic, Set: set, Epoch: epoch, Start: off, End: off,
+	})
+}
+
+// recordResizeEvent appends a TraceResize instant to the program context's
+// buffer. Called by the program context inside applyReconfig, so the
+// single-writer discipline holds; Set carries the new active pool size.
+func (ts *traceState) recordResizeEvent(newSize, epoch uint64, at time.Time) {
+	off := at.Sub(ts.origin)
+	ts.bufs[ProgramContext] = append(ts.bufs[ProgramContext], TraceEvent{
+		Ctx: ProgramContext, Kind: TraceResize, Set: newSize, Epoch: epoch, Start: off, End: off,
 	})
 }
 

@@ -74,8 +74,13 @@ func (rt *Runtime) progressSum() uint64 {
 // exists under Stealing; without it the depths are reported as zero (the
 // engine tracks enqueue/execute sums globally, not per delegate).
 func (rt *Runtime) QueueDepths(dst []uint64) []uint64 {
+	// Bound by the atomic active count, not capacity: reporting retired
+	// delegates would skew the serving tier's occupancy averages, and the
+	// atomic is the only pool-size read with a happens-before story for
+	// arbitrary goroutines.
+	n := int(rt.active.Load())
 	if rec := rt.rec; rec != nil {
-		for _, d := range rec.delegates {
+		for _, d := range rec.delegates[:n] {
 			if d.laneExec == nil {
 				dst = append(dst, 0)
 				continue
@@ -84,7 +89,7 @@ func (rt *Runtime) QueueDepths(dst []uint64) []uint64 {
 		}
 		return dst
 	}
-	for _, d := range rt.delegates {
+	for _, d := range rt.delegates[:n] {
 		dst = append(dst, uint64(d.queue.Len()))
 	}
 	return dst
@@ -124,7 +129,7 @@ func (rt *Runtime) dumpSchedState() string {
 		}
 		return b.String()
 	}
-	fmt.Fprintf(&b, "flat engine: %d delegates\n", len(rt.delegates))
+	fmt.Fprintf(&b, "flat engine: %d/%d delegates active\n", rt.cfg.Delegates, len(rt.delegates))
 	for i, d := range rt.delegates {
 		var sent uint64
 		if rt.sent != nil {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -363,6 +364,29 @@ func Ablation(w io.Writer, opts Options) error {
 			name, 1e3*elapsed.Seconds(), res.served, res.faulted, res.rejects,
 			res.stats.Steals, res.stats.Panics)
 	}
+
+	fmt.Fprintf(w, "\nA9. elastic serving (phase-shifted load: quiet -> burst -> quiet)\n")
+	// The elasticity ablation: the same phase-shifted workload against a
+	// fixed pool provisioned for the burst versus an autoscaled pool that
+	// must discover it. del-sec integrates active delegates over the run
+	// (the capacity bill); p99 is the client-side latency tail. The claim
+	// under test is that the autoscaled row pays materially fewer
+	// delegate-seconds for a comparable p99, and resizes > 0 proves the
+	// pool actually moved (up for the burst, back down for the cooldown)
+	// with zero failed or reordered requests — orderOK folds the per-key
+	// sequence check over every phase.
+	fmt.Fprintf(w, "%-14s %10s %8s %8s %8s %9s %9s %8s\n",
+		"workload", "ms", "served", "resizes", "maxdel", "del-sec", "p99 ms", "orderOK")
+	for _, auto := range []bool{false, true} {
+		name := "serve-fixed"
+		if auto {
+			name = "serve-elastic"
+		}
+		res := servingPhased(auto)
+		fmt.Fprintf(w, "%-14s %10.2f %8d %8d %8d %9.3f %9.2f %8v\n",
+			name, 1e3*res.elapsed.Seconds(), res.served, res.stats.Resizes,
+			res.maxActive, res.delegateSec, 1e3*res.p99.Seconds(), res.orderOK)
+	}
 	return nil
 }
 
@@ -428,6 +452,133 @@ func servingSkewed(chaosKeys bool) servingResult {
 	return res
 }
 
+type phasedResult struct {
+	served      uint64
+	maxActive   int
+	delegateSec float64
+	p99         time.Duration
+	orderOK     bool
+	elapsed     time.Duration
+	stats       prometheus.Stats
+}
+
+// servingPhased is the A9 workload: phase-shifted load (quiet -> burst ->
+// quiet -> idle cooldown) against either a fixed pool provisioned for the
+// burst (4 delegates the whole run) or an autoscaled pool (1..4) that
+// must discover the burst and give the capacity back. A sampler
+// integrates the active-delegate count over the run into delegate-seconds
+// — the capacity bill the elastic pool is supposed to shrink — while
+// every client checks its keys' sequences stay exactly 1..n across all
+// phases, so a resize that failed or reordered even one request flips
+// orderOK.
+func servingPhased(autoscale bool) phasedResult {
+	cfg := serve.Config{
+		Delegates:     4,
+		EpochInterval: 5 * time.Millisecond,
+		Handler: func(s *serve.Session, r *http.Request) (int, string) {
+			time.Sleep(500 * time.Microsecond)
+			return http.StatusOK, fmt.Sprintf("%d", s.Seq)
+		},
+	}
+	if autoscale {
+		cfg.Delegates = 1
+		cfg.MinDelegates = 1
+		cfg.MaxDelegates = 4
+		cfg.Autoscale = true
+		cfg.AutoscaleCooldown = 1
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	h := srv.Handler()
+
+	var res phasedResult
+	var served, orderBad atomic.Uint64
+	var mu sync.Mutex
+	var lats []time.Duration
+	lastSeq := make([]int, 8)
+
+	// One worker slot = one session key, persistent across phases, so the
+	// order check spans every resize the run performs.
+	client := func(c, n int, gap time.Duration) {
+		key := fmt.Sprintf("phased-%d", c)
+		for i := 0; i < n; i++ {
+			r := httptest.NewRequest("GET", "/bump", nil)
+			r.Header.Set("X-Session-Key", key)
+			rec := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(rec, r)
+			lat := time.Since(t0)
+			seq := 0
+			fmt.Sscanf(rec.Body.String(), "%d", &seq)
+			if rec.Code != http.StatusOK || seq != lastSeq[c]+1 {
+				orderBad.Add(1)
+				return
+			}
+			lastSeq[c] = seq
+			served.Add(1)
+			mu.Lock()
+			lats = append(lats, lat)
+			mu.Unlock()
+			if gap > 0 {
+				time.Sleep(gap)
+			}
+		}
+	}
+	runPhase := func(workers, n int, gap time.Duration) {
+		var wg sync.WaitGroup
+		for c := 0; c < workers; c++ {
+			wg.Add(1)
+			go func(c int) { defer wg.Done(); client(c, n, gap) }(c)
+		}
+		wg.Wait()
+	}
+
+	stop := make(chan struct{})
+	var sampWG sync.WaitGroup
+	sampWG.Add(1)
+	go func() {
+		defer sampWG.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		prev := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				a := srv.ActiveDelegates()
+				res.delegateSec += float64(a) * now.Sub(prev).Seconds()
+				if a > res.maxActive {
+					res.maxActive = a
+				}
+				prev = now
+			}
+		}
+	}()
+
+	start := time.Now()
+	runPhase(2, 40, time.Millisecond)  // quiet: trickle, well under one delegate
+	runPhase(8, 150, 0)                // burst: backlog the autoscaler must see
+	runPhase(2, 40, time.Millisecond)  // quiet again: the EWMA decays
+	time.Sleep(100 * time.Millisecond) // idle cooldown: the pool walks to the floor
+	res.elapsed = time.Since(start)
+	close(stop)
+	sampWG.Wait()
+	if err := srv.Drain(); err != nil {
+		panic(err)
+	}
+	res.served = served.Load()
+	res.orderOK = orderBad.Load() == 0
+	res.stats = srv.Stats()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.p99 = lats[len(lats)*99/100]
+	}
+	return res
+}
+
 // chaosOpt arms the runtime's fault-injection seam with a fresh seeded
 // injector panicking in a fraction p of delegated operations.
 func chaosOpt(p float64) prometheus.Option {
@@ -446,8 +597,8 @@ func chaosSkewed(extra ...prometheus.Option) prometheus.Stats {
 	all := append([]prometheus.Option{prometheus.WithDelegates(4), prometheus.Recursive()}, extra...)
 	rt := prometheus.Init(all...)
 	defer rt.Terminate()
-	hot := []uint64{0, 4, 8, 12}   // delegate 1 under StaticMod's vmap
-	cold := []uint64{2, 6, 3, 7}   // spread; produced only by the hot ops' delegate
+	hot := []uint64{0, 4, 8, 12} // delegate 1 under StaticMod's vmap
+	cold := []uint64{2, 6, 3, 7} // spread; produced only by the hot ops' delegate
 	w := prometheus.NewWritable(rt, 0)
 	for epoch := 0; epoch < 2; epoch++ {
 		rt.BeginIsolation()

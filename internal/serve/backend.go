@@ -254,6 +254,10 @@ type BackendState struct {
 	ConsecFails int    // consecutive failures observed while closed
 	Opens       uint64 // times the breaker opened
 	Denied      uint64 // requests short-circuited by the gate
+	// LatencyEWMA is the backend's smoothed service time in milliseconds
+	// (zero until its first completed call) — the observability half of
+	// latency-aware routing; routing itself still rotates round-robin.
+	LatencyEWMA float64
 }
 
 // statesProvider is how the server discovers per-backend health without
@@ -279,6 +283,27 @@ type Pool struct {
 type poolEntry struct {
 	b  Backend
 	br *breaker
+	// latEWMA is the backend's service-time EWMA in microseconds,
+	// fixed-point so concurrent Serve returns fold in with plain atomics
+	// (α = 1/8; first sample seeds the average). Failures are sampled
+	// too: a backend that takes 2s to fail is slow, and the EWMA is a
+	// service-time signal, not a success meter.
+	latEWMA atomic.Int64
+}
+
+// noteLatency folds one observed service time into the entry's EWMA.
+func (e *poolEntry) noteLatency(d time.Duration) {
+	us := d.Microseconds()
+	for {
+		old := e.latEWMA.Load()
+		next := old + (us-old)/8
+		if old == 0 {
+			next = us
+		}
+		if e.latEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // NewPool gates each backend behind its own circuit breaker (threshold
@@ -309,7 +334,9 @@ func (p *Pool) Serve(ctx context.Context, s *Session, r *http.Request) (int, str
 		if !e.br.allow(now) {
 			continue
 		}
+		callStart := time.Now()
 		status, body, err := e.b.Serve(ctx, s, r)
+		e.noteLatency(time.Since(callStart))
 		if err != nil {
 			e.br.onFailure(time.Now())
 			return 0, "", &BackendError{Backend: e.b.Name(), Err: err}
@@ -333,6 +360,7 @@ func (p *Pool) States() []BackendState {
 			ConsecFails: consec,
 			Opens:       e.br.opens.Load(),
 			Denied:      e.br.denied.Load(),
+			LatencyEWMA: float64(e.latEWMA.Load()) / 1000.0,
 		}
 	}
 	return out

@@ -159,6 +159,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for i, d := range s.rt.QueueDepths(make([]uint64, 0, 16)) {
 		fmt.Fprintf(&b, "ss_delegate_backlog{delegate=\"%d\"} %d\n", i+1, d)
 	}
+	fmt.Fprintf(&b, "# HELP ss_delegates Delegates currently active in the pool.\n# TYPE ss_delegates gauge\nss_delegates %d\n",
+		s.rt.ActiveDelegates())
 
 	// Per-backend health, when the backend exposes it (a Pool does):
 	// breaker state as an enum gauge plus failure/open/denial counters, so
@@ -189,6 +191,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		for _, bs := range states {
 			fmt.Fprintf(&b, "ss_breaker_denied_total{backend=%q} %d\n", bs.Name, bs.Denied)
 		}
+		fmt.Fprintf(&b, "# HELP ss_backend_latency_ewma_ms Smoothed service time per backend, milliseconds.\n# TYPE ss_backend_latency_ewma_ms gauge\n")
+		for _, bs := range states {
+			fmt.Fprintf(&b, "ss_backend_latency_ewma_ms{backend=%q} %.3f\n", bs.Name, bs.LatencyEWMA)
+		}
 	}
 
 	fmt.Fprintf(&b, "# HELP ss_poisoned_keys Serialization sets poisoned in the current epoch.\n# TYPE ss_poisoned_keys gauge\nss_poisoned_keys %d\n", s.rt.PoisonedCount())
@@ -207,6 +213,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ss_runtime_steals_total", "Whole-set handoffs by the occupancy-aware rebalancer.", st.Steals)
 	counter("ss_runtime_epochs_total", "Isolation epochs begun (the rotation cadence).", st.Epochs)
 	counter("ss_runtime_delegations_total", "Operations delegated to the pool.", st.Delegations)
+	counter("ss_resize_total", "Delegate-pool resizes applied at epoch boundaries.", st.Resizes)
+	counter("ss_resize_evacuated_sets", "Sets evacuated off retiring delegates by scale-downs.", st.ResizeEvacuatedSets)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())

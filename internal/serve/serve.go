@@ -94,9 +94,27 @@ type Handler func(s *Session, r *http.Request) (status int, body string)
 
 // Config parameterizes a Server.
 type Config struct {
-	// Delegates sets the runtime's delegate-context pool size
+	// Delegates sets the runtime's INITIAL delegate-context pool size
 	// (default GOMAXPROCS-1, the runtime's own default).
 	Delegates int
+	// MaxDelegates sets the pool capacity ceiling for live resizes
+	// (runtime structures are pre-allocated to it). 0 fixes the pool at
+	// Delegates: no autoscaling, /admin/resize rejected.
+	MaxDelegates int
+	// MinDelegates floors the autoscaler's scale-down (default 1). Manual
+	// /admin/resize may go below it — the floor bounds the feedback loop,
+	// not the operator.
+	MinDelegates int
+	// Autoscale enables the rotation-driven autoscaler: at each epoch
+	// rotation the router folds mean delegate occupancy into an EWMA and
+	// steps the pool ±1 delegate when it leaves the target band, clamped
+	// to [MinDelegates, MaxDelegates], with AutoscaleCooldown rotations
+	// between steps. Requires MaxDelegates.
+	Autoscale bool
+	// AutoscaleCooldown is the number of epoch rotations between resize
+	// decisions (default 3) — resizes re-place owner state, so the band
+	// check must see post-resize occupancy settle before stepping again.
+	AutoscaleCooldown int
 	// Shards sets the latency-metric shard count: a key's set is metered
 	// under shard set%Shards, bounding metric cardinality under unbounded
 	// keys. Default 8.
@@ -222,6 +240,19 @@ func (c *Config) withDefaults() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Autoscale && c.MaxDelegates <= 0 {
+		return fmt.Errorf("serve: Config.Autoscale requires Config.MaxDelegates")
+	}
+	if c.MinDelegates <= 0 {
+		c.MinDelegates = 1
+	}
+	if c.MaxDelegates > 0 && c.MinDelegates > c.MaxDelegates {
+		return fmt.Errorf("serve: Config.MinDelegates %d exceeds Config.MaxDelegates %d",
+			c.MinDelegates, c.MaxDelegates)
+	}
+	if c.AutoscaleCooldown <= 0 {
+		c.AutoscaleCooldown = 3
+	}
 	return nil
 }
 
@@ -302,6 +333,16 @@ type Server struct {
 	// itself (Stats reads program-private counters).
 	statsSnap atomic.Pointer[prometheus.Stats]
 
+	// Autoscaler state. occEWMA and cooldown are router-private;
+	// resizeTarget carries a manual /admin/resize target (0 = none) from
+	// the handler to the router, which applies it at the next rotation —
+	// engine reconfiguration stays on the program context's schedule even
+	// when the request arrives on an arbitrary goroutine.
+	occEWMA      float64
+	cooldown     int
+	resizeTarget atomic.Int64
+	depthBuf     []uint64 // router-private QueueDepths scratch
+
 	// Durability (see durability.go; all nil/zero without Config.StateFS).
 	store      *durable.Store
 	journal    atomic.Pointer[durable.Journal] // swapped by the router at capture
@@ -375,6 +416,9 @@ func (s *Server) router(ready chan struct{}) {
 	}
 	if s.cfg.Delegates > 0 {
 		opts = append(opts, prometheus.WithDelegates(s.cfg.Delegates))
+	}
+	if s.cfg.MaxDelegates > 0 {
+		opts = append(opts, prometheus.WithMaxDelegates(s.cfg.MaxDelegates))
 	}
 	s.rt = prometheus.Init(opts...)
 	s.w = prometheus.NewWritableSer(s.rt, routerState{}, prometheus.NullSerializer[routerState]())
@@ -551,6 +595,9 @@ func (s *Server) execute(j *job, sess *Session) {
 // cadence: the slow-key watchdog heals, and the rate limiter evicts idle
 // buckets. Program context only.
 func (s *Server) rotate() {
+	// Occupancy is sampled BEFORE the barrier: the closing epoch's backlog
+	// is the load signal, and the barrier is about to drain it to zero.
+	occ := s.sampleOccupancy()
 	s.rt.EndIsolation()
 	s.sweepEpochJobs()
 	s.epochJobs = s.epochJobs[:0]
@@ -564,9 +611,84 @@ func (s *Server) rotate() {
 	// any Session, so this window is a consistent cut across every key —
 	// where the durable-session capture rides (see durability.go).
 	s.rotateDurable()
+	// Record any resize intent now; the BeginIsolation below is the epoch
+	// boundary that applies it, so `ss_delegates` moves on this rotation.
+	s.maybeResize(occ)
+	s.rt.BeginIsolation()
 	st := s.rt.Stats()
 	s.statsSnap.Store(&st)
-	s.rt.BeginIsolation()
+}
+
+// Autoscaler band: mean outstanding operations per active delegate. Above
+// the high mark the pool is queueing (scale up); below the low mark with
+// more than the floor active, delegates are idling (scale down). The gap
+// between the marks is the hysteresis that keeps a steady load from
+// oscillating the pool.
+const (
+	autoscaleHighOcc = 2.0
+	autoscaleLowOcc  = 0.5
+	// autoscaleAlpha is the occupancy EWMA's smoothing weight per
+	// rotation: heavy enough that a one-rotation burst does not resize the
+	// pool, light enough that a sustained phase shift crosses the band
+	// within a few rotations.
+	autoscaleAlpha = 0.5
+)
+
+// sampleOccupancy returns the closing epoch's mean per-delegate load:
+// outstanding delegated operations plus jobs still waiting in the channel,
+// over the active pool. Program context, pre-barrier.
+func (s *Server) sampleOccupancy() float64 {
+	n := s.rt.ActiveDelegates()
+	if n == 0 {
+		return 0
+	}
+	s.depthBuf = s.rt.QueueDepths(s.depthBuf[:0])
+	var sum uint64
+	for _, d := range s.depthBuf {
+		sum += d
+	}
+	return (float64(sum) + float64(len(s.jobs))) / float64(n)
+}
+
+// maybeResize is the rotation-driven scaling decision: a manual
+// /admin/resize target always wins and resets the cooldown; otherwise,
+// with Autoscale on, the occupancy EWMA is stepped and compared against
+// the band. Resizes are single steps with a cooldown measured in
+// rotations — the engine applies them at epoch boundaries, so each step's
+// effect is observable before the next decision. Program context only.
+func (s *Server) maybeResize(occ float64) {
+	if tgt := s.resizeTarget.Swap(0); tgt > 0 {
+		if err := s.rt.Resize(int(tgt)); err != nil {
+			s.cfg.Logf("serve: manual resize to %d rejected: %v", tgt, err)
+		} else {
+			s.cooldown = s.cfg.AutoscaleCooldown
+		}
+		return
+	}
+	if !s.cfg.Autoscale {
+		return
+	}
+	s.occEWMA += autoscaleAlpha * (occ - s.occEWMA)
+	if s.cooldown > 0 {
+		s.cooldown--
+		return
+	}
+	active := s.rt.ActiveDelegates()
+	target := active
+	switch {
+	case s.occEWMA > autoscaleHighOcc && active < s.cfg.MaxDelegates:
+		target = active + 1
+	case s.occEWMA < autoscaleLowOcc && active > s.cfg.MinDelegates:
+		target = active - 1
+	}
+	if target == active {
+		return
+	}
+	if err := s.rt.Resize(target); err != nil {
+		s.cfg.Logf("serve: autoscale to %d rejected: %v", target, err)
+		return
+	}
+	s.cooldown = s.cfg.AutoscaleCooldown
 }
 
 // sweepEpochJobs resolves every job the closed epoch left pending. Runs
@@ -673,3 +795,7 @@ func (s *Server) Drain() error {
 // Stats returns the most recent epoch-rotation snapshot of the runtime
 // counters. Safe from any goroutine.
 func (s *Server) Stats() prometheus.Stats { return *s.statsSnap.Load() }
+
+// ActiveDelegates reports the live delegate-pool size. Safe from any
+// goroutine; moves only at epoch rotations.
+func (s *Server) ActiveDelegates() int { return s.rt.ActiveDelegates() }

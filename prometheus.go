@@ -76,6 +76,14 @@ type Option func(*core.Config)
 // threads; default GOMAXPROCS-1).
 func WithDelegates(n int) Option { return func(c *core.Config) { c.Delegates = n } }
 
+// WithMaxDelegates sets the pool capacity ceiling for Resize/Reconfigure
+// (default: the initial delegate count, i.e. a fixed pool). All pool
+// structures are pre-allocated to this capacity at Init so a live resize
+// never reallocates anything a running delegate indexes into; in recursive
+// mode the lane matrix costs O(MaxDelegates²) rings, so size the ceiling
+// to plausible load, not to the machine.
+func WithMaxDelegates(n int) Option { return func(c *core.Config) { c.MaxDelegates = n } }
+
 // WithVirtualDelegates sets the size of the static assignment table (§4).
 func WithVirtualDelegates(n int) Option { return func(c *core.Config) { c.VirtualDelegates = n } }
 
@@ -214,11 +222,41 @@ func (rt *Runtime) EndIsolation() { rt.core.EndIsolation() }
 func (rt *Runtime) InIsolation() bool { return rt.core.InIsolation() }
 
 // NumContexts returns the number of execution contexts (1 program +
-// delegates).
+// MaxDelegates). It is the pool CAPACITY plus one — immutable for the
+// runtime's lifetime, so per-context state (reducible views, trace
+// buffers) sized from it stays valid across resizes; use ActiveDelegates
+// for the live pool size.
 func (rt *Runtime) NumContexts() int { return rt.core.NumContexts() }
 
-// NumDelegates returns the number of delegate contexts.
+// NumDelegates returns the delegate pool CAPACITY (MaxDelegates); see
+// ActiveDelegates for the current live count.
 func (rt *Runtime) NumDelegates() int { return rt.core.NumContexts() - 1 }
+
+// ActiveDelegates returns the number of delegates currently serving the
+// pool. Safe from any goroutine.
+func (rt *Runtime) ActiveDelegates() int { return rt.core.ActiveDelegates() }
+
+// RuntimeConfig re-exports the runtime-mutable configuration accepted by
+// Reconfigure. Zero fields keep their current setting.
+type RuntimeConfig = core.RuntimeConfig
+
+// Resize requests the delegate pool be resized to n at the next epoch
+// boundary — BeginIsolation is the engine's quiescent point, where owner
+// tables rebuild and hot sets re-place, so a resize there preserves per-set
+// program order exactly (see doc.go, "Elastic runtime"). Validated
+// immediately; safe from any goroutine; last request before the boundary
+// wins.
+func (rt *Runtime) Resize(n int) error { return rt.core.Resize(n) }
+
+// Reconfigure records a runtime-mutable configuration change (pool size,
+// steal-threshold base) to apply at the next epoch boundary. Safe from any
+// goroutine.
+func (rt *Runtime) Reconfigure(rc RuntimeConfig) error { return rt.core.Reconfigure(rc) }
+
+// CurrentConfig returns the effective runtime-mutable configuration (a
+// pending Reconfigure shows up only after the epoch boundary applies it).
+// Safe from any goroutine.
+func (rt *Runtime) CurrentConfig() RuntimeConfig { return rt.core.RuntimeConfig() }
 
 // ProgramCtx returns the program context handle, for use with reducibles
 // from the program context.
@@ -232,11 +270,12 @@ type TraceEvent = core.TraceEvent
 
 // Trace-event kinds, re-exported.
 const (
-	TraceExec  = core.TraceExec
-	TraceSync  = core.TraceSync
-	TraceEpoch = core.TraceEpoch
-	TraceSteal = core.TraceSteal
-	TracePanic = core.TracePanic
+	TraceExec   = core.TraceExec
+	TraceSync   = core.TraceSync
+	TraceEpoch  = core.TraceEpoch
+	TraceSteal  = core.TraceSteal
+	TracePanic  = core.TracePanic
+	TraceResize = core.TraceResize
 )
 
 // TraceEvents returns the merged trace (nil unless WithTrace was given).
